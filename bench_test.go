@@ -1,0 +1,345 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (one Benchmark per experiment id in DESIGN.md §4) plus
+// microbenchmarks of the performance-critical substrates and the ablation
+// studies of DESIGN.md §5.
+//
+// The figure benchmarks run the experiment harness at TinyScale per
+// iteration so `go test -bench .` completes quickly; run
+// `go run ./cmd/siriussim -scale small` (or `-scale paper`) for the
+// full-size tables.
+package sirius
+
+import (
+	"testing"
+
+	"sirius/internal/core"
+	"sirius/internal/exp"
+	"sirius/internal/laser"
+	"sirius/internal/optics"
+	"sirius/internal/phy"
+	"sirius/internal/schedule"
+	"sirius/internal/simtime"
+	"sirius/internal/workload"
+)
+
+// ---- E1-E3: power and cost analysis (Fig. 2a, 6a, 6b) ----
+
+func BenchmarkFig2aScaleTax(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tab := exp.Fig2a(); len(tab.Rows) != 5 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+func BenchmarkFig6aPower(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tab := exp.Fig6a(); len(tab.Rows) != 6 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+func BenchmarkFig6bCost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tab := exp.Fig6b(); len(tab.Rows) != 6 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+// ---- E4-E8: optical substrate (tuning stats, Fig. 8a-8d) ----
+
+func BenchmarkTuningPairs(b *testing.B) {
+	l := laser.NewDampedDSDBR()
+	for i := 0; i < b.N; i++ {
+		s := laser.MeasurePairs(l)
+		if s.Pairs != 12432 {
+			b.Fatal("bad pair count")
+		}
+	}
+}
+
+func BenchmarkFig8aSOACDF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tab := exp.Fig8a(); len(tab.Rows) != 6 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+func BenchmarkFig8bWaveforms(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tab := exp.Fig8b(); len(tab.Rows) != 2 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+func BenchmarkFig8cBurst(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tab := exp.Fig8c(); len(tab.Rows) == 0 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+func BenchmarkFig8dBER(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tab := exp.Fig8d(); len(tab.Rows) != 9 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+// ---- E9: time synchronization ----
+
+func BenchmarkTimesync(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tab := exp.Timesync(5_000); len(tab.Rows) != 3 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+// ---- E10-E14: network simulation sweeps (Fig. 9-13) ----
+
+func BenchmarkFig9Load(b *testing.B) {
+	s := exp.TinyScale()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Fig9(s, []float64{0.25, 0.75}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig10Q(b *testing.B) {
+	s := exp.TinyScale()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Fig10(s, []int{2, 4, 8, 16}, []float64{0.75}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig11Guardband(b *testing.B) {
+	s := exp.TinyScale()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Fig11(s, []float64{1, 5, 10, 20, 40}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig12Uplinks(b *testing.B) {
+	s := exp.TinyScale()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Fig12(s, []float64{1, 1.5, 2}, []float64{0.75}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig13FlowSize(b *testing.B) {
+	s := exp.TinyScale()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Fig13(s, []float64{512, 4096, 65536}, 0.6); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- E15-E17: burstiness analysis, prototype, link budget ----
+
+func BenchmarkPacketMix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tab := exp.Burst(); len(tab.Rows) == 0 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+func BenchmarkWirePrototype(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Prototype(4, 25); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLinkBudget(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tab := exp.LinkBudget(); len(tab.Rows) == 0 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+// ---- Ablations (DESIGN.md §5) ----
+
+// ablationRun runs the tiny-scale workload through the core simulator
+// with the given tweaks and reports goodput and p99 as bench metrics.
+func ablationRun(b *testing.B, mutate func(*core.Config)) {
+	b.Helper()
+	sched, err := schedule.NewGrouped(16, 4, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	wcfg := workload.DefaultConfig(16, 200*simtime.Gbps, 0.75, 400)
+	flows, err := workload.Generate(wcfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.Config{
+		Schedule:      sched,
+		Slot:          phy.DefaultSlot(),
+		Q:             4,
+		NormalizeRate: 200 * simtime.Gbps,
+		Seed:          1,
+	}
+	mutate(&cfg)
+	var last *core.Results
+	for i := 0; i < b.N; i++ {
+		res, err := core.Run(cfg, flows)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	if last != nil {
+		b.ReportMetric(last.GoodputNorm, "goodput")
+		b.ReportMetric(last.FCTShort.Percentile(99)*1000, "p99short-us")
+	}
+}
+
+func BenchmarkAblationBaseline(b *testing.B) {
+	ablationRun(b, func(c *core.Config) {})
+}
+
+func BenchmarkAblationDirectOff(b *testing.B) {
+	ablationRun(b, func(c *core.Config) { c.NoDirect = true })
+}
+
+func BenchmarkAblationControlLatency(b *testing.B) {
+	ablationRun(b, func(c *core.Config) { c.InstantControl = true })
+}
+
+func BenchmarkAblationIdealBackpressure(b *testing.B) {
+	ablationRun(b, func(c *core.Config) { c.Mode = core.ModeIdeal })
+}
+
+// ---- Microbenchmarks of the hot substrates ----
+
+func BenchmarkAWGRRoute(b *testing.B) {
+	a := optics.NewAWGR(100, 6)
+	sum := 0
+	for i := 0; i < b.N; i++ {
+		sum += a.Route(i%100, optics.Wavelength(i%100))
+	}
+	_ = sum
+}
+
+func BenchmarkScheduleDst(b *testing.B) {
+	g, err := schedule.NewGrouped(128, 16, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sum := 0
+	for i := 0; i < b.N; i++ {
+		sum += g.Dst(i%128, i%8, i%16)
+	}
+	_ = sum
+}
+
+func BenchmarkLaserTune(b *testing.B) {
+	l := laser.NewDampedDSDBR()
+	var total simtime.Duration
+	for i := 0; i < b.N; i++ {
+		total += l.TuneTime(optics.Wavelength(i%112), optics.Wavelength((i*7+3)%112))
+	}
+	_ = total
+}
+
+func BenchmarkCoreCellsPerSecond(b *testing.B) {
+	// End-to-end simulator throughput: cells simulated per wall second.
+	sched, err := schedule.NewGrouped(64, 8, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	wcfg := workload.DefaultConfig(64, 400*simtime.Gbps, 0.9, 2000)
+	flows, err := workload.Generate(wcfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var cells int64
+	for _, f := range flows {
+		cells += int64((f.Bytes + 541) / 542)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := core.Run(core.Config{
+			Schedule:      sched,
+			Slot:          phy.DefaultSlot(),
+			Q:             4,
+			NormalizeRate: 400 * simtime.Gbps,
+			Seed:          1,
+		}, flows)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(cells*int64(b.N))/b.Elapsed().Seconds(), "cells/s")
+}
+
+func BenchmarkWorkloadGenerate(b *testing.B) {
+	cfg := workload.DefaultConfig(128, 400*simtime.Gbps, 0.8, 10_000)
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i + 1)
+		if _, err := workload.Generate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPRBSFill(b *testing.B) {
+	p := phy.NewPRBS(1)
+	buf := make([]byte, 562)
+	b.SetBytes(562)
+	for i := 0; i < b.N; i++ {
+		p.Fill(buf)
+	}
+}
+
+func BenchmarkPublicAPIEndToEnd(b *testing.B) {
+	cfg := DefaultConfig(16)
+	flows := Workload(cfg, 0.5, 200, 1)
+	for i := 0; i < b.N; i++ {
+		if _, err := cfg.Run(flows); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E18: §4.5 failures — degraded vs compacted schedules plus detection.
+func BenchmarkFailureRecovery(b *testing.B) {
+	s := exp.TinyScale()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Failure(s, []int{0, 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationDirectOnly(b *testing.B) {
+	ablationRun(b, func(c *core.Config) { c.Mode = core.ModeDirect })
+}
+
+// §7 deployment at server granularity (package dc).
+func BenchmarkServerLevel(b *testing.B) {
+	s := exp.TinyScale()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.ServerLevel(s, 4, []float64{0.5}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

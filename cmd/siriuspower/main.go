@@ -1,0 +1,60 @@
+// Command siriuspower runs the §5 power and cost analysis with
+// user-adjustable component assumptions.
+//
+// Usage:
+//
+//	siriuspower [-laser-power 3] [-laser-cost 3] [-grating-frac 0.25]
+//	            [-overprovision 2] [-layers 4] [-bisection-pbps 100]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sirius/internal/power"
+)
+
+func main() {
+	p := power.DefaultParams()
+	flag.Float64Var(&p.TunablePowerRatio, "laser-power", p.TunablePowerRatio,
+		"tunable/fixed laser power ratio")
+	flag.Float64Var(&p.TunableCostRatio, "laser-cost", p.TunableCostRatio,
+		"tunable/fixed laser cost ratio")
+	flag.Float64Var(&p.GratingCostFrac, "grating-frac", p.GratingCostFrac,
+		"grating cost as a fraction of an equal-radix electrical switch")
+	flag.Float64Var(&p.Overprovision, "overprovision", p.Overprovision,
+		"uplink multiplier compensating load-balanced routing")
+	flag.IntVar(&p.ESNLayers, "layers", p.ESNLayers, "ESN switch layers")
+	bisection := flag.Float64("bisection-pbps", 100,
+		"datacenter bisection bandwidth in Pbps for the absolute power figure")
+	flag.Parse()
+
+	if p.Overprovision < 1 || p.GratingCostFrac <= 0 || p.TunablePowerRatio < 1 ||
+		p.TunableCostRatio < 1 || p.ESNLayers < 1 {
+		fmt.Fprintln(os.Stderr, "siriuspower: parameters out of range")
+		os.Exit(2)
+	}
+
+	w := os.Stdout
+	fmt.Fprintf(w, "ESN (non-blocking, %d layers): %8.1f W/Tbps  %10.0f $/Tbps\n",
+		p.ESNLayers, p.ESNPowerPerTbps(p.ESNLayers), p.ESNCostPerTbps(p.ESNLayers, 1))
+	fmt.Fprintf(w, "ESN (3:1 oversubscribed):      %8s         %10.0f $/Tbps\n",
+		"-", p.ESNCostPerTbps(p.ESNLayers, p.Oversub))
+	fmt.Fprintf(w, "Sirius:                        %8.1f W/Tbps  %10.0f $/Tbps\n",
+		p.SiriusPowerPerTbps(), p.SiriusCostPerTbps())
+	fmt.Fprintf(w, "Electrically-switched Sirius:  %8s         %10.0f $/Tbps\n",
+		"-", p.ElectricalSiriusCostPerTbps())
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "Sirius/ESN power ratio:        %6.1f%%  (paper: 23-26%% at 3-5x lasers)\n",
+		100*p.PowerRatio())
+	fmt.Fprintf(w, "Sirius/ESN cost ratio:         %6.1f%%  (paper: ~28%%)\n",
+		100*p.CostRatio())
+	fmt.Fprintf(w, "Sirius/ESN-OSUB cost ratio:    %6.1f%%  (paper: ~53%%)\n",
+		100*p.CostRatioOversub())
+	fmt.Fprintf(w, "Sirius/electrical-variant:     %6.1f%%  (paper: ~55%%)\n",
+		100*p.SiriusCostPerTbps()/p.ElectricalSiriusCostPerTbps())
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "A %.0f Pbps non-blocking ESN would draw %.1f MW (paper: 48.7 MW at 100 Pbps).\n",
+		*bisection, p.DatacenterPowerMW(*bisection))
+}

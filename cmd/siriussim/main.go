@@ -1,0 +1,155 @@
+// Command siriussim regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	siriussim -exp fig9 [-scale small|paper|tiny] [-loads 0.1,0.5,1.0]
+//	siriussim -exp all
+//
+// Experiments: fig2a fig6a fig6b tuning lasers fig8a fig8b fig8c fig8d
+// timesync budget burst proto fig9 fig10 fig11 fig12 fig13 failure
+// servers ablation custom (with -trace).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"sirius/internal/exp"
+)
+
+func main() {
+	var (
+		name   = flag.String("exp", "all", "experiment id (see package doc; \"all\" runs everything)")
+		scale  = flag.String("scale", "small", "network-simulation scale: tiny, small, paper")
+		loads  = flag.String("loads", "0.10,0.25,0.50,0.75,1.00", "comma-separated load points")
+		epochs = flag.Int("epochs", 50_000, "epochs for the timesync experiment")
+		format = flag.String("format", "text", "output format: text, csv, json")
+		trace  = flag.String("trace", "", "flow-trace CSV for -exp custom (arrival_ns,src,dst,bytes)")
+		ports  = flag.Int("ports", 8, "grating ports for -exp custom")
+	)
+	flag.Parse()
+
+	var sc exp.Scale
+	switch *scale {
+	case "tiny":
+		sc = exp.TinyScale()
+	case "small":
+		sc = exp.SmallScale()
+	case "paper":
+		sc = exp.PaperScale()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	loadList, err := parseFloats(*loads)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bad -loads: %v\n", err)
+		os.Exit(2)
+	}
+
+	runners := map[string]func() (*exp.Table, error){
+		"fig2a":    func() (*exp.Table, error) { return exp.Fig2a(), nil },
+		"fig6a":    func() (*exp.Table, error) { return exp.Fig6a(), nil },
+		"fig6b":    func() (*exp.Table, error) { return exp.Fig6b(), nil },
+		"tuning":   func() (*exp.Table, error) { return exp.Tuning(), nil },
+		"lasers":   func() (*exp.Table, error) { return exp.LaserDesigns(), nil },
+		"fig8a":    func() (*exp.Table, error) { return exp.Fig8a(), nil },
+		"fig8b":    func() (*exp.Table, error) { return exp.Fig8b(), nil },
+		"fig8c":    func() (*exp.Table, error) { return exp.Fig8c(), nil },
+		"fig8d":    func() (*exp.Table, error) { return exp.Fig8d(), nil },
+		"timesync": func() (*exp.Table, error) { return exp.Timesync(*epochs), nil },
+		"budget":   func() (*exp.Table, error) { return exp.LinkBudget(), nil },
+		"burst":    func() (*exp.Table, error) { return exp.Burst(), nil },
+		"proto":    func() (*exp.Table, error) { return exp.Prototype(4, 200) },
+		"fig9":     func() (*exp.Table, error) { return exp.Fig9(sc, loadList) },
+		"fig10": func() (*exp.Table, error) {
+			return exp.Fig10(sc, []int{2, 4, 8, 16}, loadList)
+		},
+		"fig11": func() (*exp.Table, error) {
+			return exp.Fig11(sc, []float64{1, 5, 10, 20, 40})
+		},
+		"fig12": func() (*exp.Table, error) {
+			return exp.Fig12(sc, []float64{1, 1.5, 2}, loadList)
+		},
+		"fig13": func() (*exp.Table, error) {
+			return exp.Fig13(sc, []float64{512, 1024, 2048, 4096, 16384, 32768, 65536, 100_000}, 0.75)
+		},
+		"failure": func() (*exp.Table, error) {
+			return exp.Failure(sc, []int{0, 1, 4, 8})
+		},
+		"servers": func() (*exp.Table, error) {
+			return exp.ServerLevel(sc, 8, loadList)
+		},
+		"ablation": func() (*exp.Table, error) {
+			return exp.Ablation(sc, 0.75)
+		},
+		"custom": func() (*exp.Table, error) {
+			if *trace == "" {
+				return nil, fmt.Errorf("-exp custom needs -trace <file.csv>")
+			}
+			return exp.FromTraceFile(*trace, *ports, 1)
+		},
+	}
+
+	order := []string{"fig2a", "fig6a", "fig6b", "tuning", "lasers", "fig8a", "fig8b",
+		"fig8c", "fig8d", "timesync", "budget", "burst", "proto",
+		"fig9", "fig10", "fig11", "fig12", "fig13", "failure", "servers", "ablation"}
+
+	run := func(id string) {
+		r, ok := runners[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", id)
+			os.Exit(2)
+		}
+		tab, err := r()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			os.Exit(1)
+		}
+		switch *format {
+		case "text":
+			tab.Fprint(os.Stdout)
+		case "csv":
+			err = tab.CSV(os.Stdout)
+		case "json":
+			err = tab.JSON(os.Stdout)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown format %q\n", *format)
+			os.Exit(2)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			os.Exit(1)
+		}
+	}
+
+	if *name == "all" {
+		for _, id := range order {
+			run(id)
+		}
+		return
+	}
+	run(*name)
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no load points")
+	}
+	return out, nil
+}

@@ -1,0 +1,22 @@
+package main
+
+import "testing"
+
+func TestParseFloats(t *testing.T) {
+	got, err := parseFloats("0.1, 0.5,1.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 0.1 || got[2] != 1.0 {
+		t.Errorf("parseFloats = %v", got)
+	}
+	if _, err := parseFloats("a,b"); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := parseFloats(""); err == nil {
+		t.Error("empty accepted")
+	}
+	if _, err := parseFloats(" , ,"); err == nil {
+		t.Error("blank list accepted")
+	}
+}

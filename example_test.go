@@ -1,0 +1,54 @@
+package sirius_test
+
+import (
+	"fmt"
+
+	"sirius"
+)
+
+// The most basic use: build a fabric, offer traffic, read the report.
+func ExampleConfig_Run() {
+	cfg := sirius.DefaultConfig(16)
+	flows := []sirius.Flow{
+		{Src: 0, Dst: 5, Bytes: 50_000},
+		{Src: 3, Dst: 9, Bytes: 2_000},
+	}
+	rep, err := cfg.Run(flows)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s delivered %d/%d flows, %d bytes\n",
+		rep.System, rep.Completed, rep.Flows, rep.DeliveredBytes)
+	// Output:
+	// SIRIUS delivered 2/2 flows, 52000 bytes
+}
+
+// Comparing against the idealized electrically-switched baseline.
+func ExampleConfig_RunESN() {
+	cfg := sirius.DefaultConfig(16)
+	flows := sirius.Workload(cfg, 0.5, 200, 1)
+	sir, err := cfg.Run(flows)
+	if err != nil {
+		panic(err)
+	}
+	esn, err := cfg.RunESN(flows, 1, 0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("both completed: %v\n", sir.Completed == esn.Completed)
+	// Output:
+	// both completed: true
+}
+
+// Scaling with parallel fabric planes (§4.5).
+func ExampleConfig_RunParallel() {
+	cfg := sirius.DefaultConfig(16)
+	flows := sirius.Workload(cfg, 0.8, 100, 2)
+	rep, err := cfg.RunParallel(flows, 2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(rep.System)
+	// Output:
+	// SIRIUS x2 planes
+}

@@ -1,0 +1,55 @@
+// Failover: §4.5 fault tolerance. A node fails; its schedule slots go
+// dark, survivors detour around it, and every node loses a proportional
+// 1/N of bandwidth — no blackholing, no reconfiguration storm. The
+// example measures goodput before and after, and after failing several
+// nodes at once.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sirius"
+)
+
+func main() {
+	const nodes = 32
+	cfg := sirius.DefaultConfig(nodes)
+	cfg.Seed = 3
+
+	// Traffic among the nodes that stay alive throughout, so the same
+	// flow set is valid in every scenario.
+	all := sirius.Workload(cfg, 0.8, 3000, 9)
+	var flows []sirius.Flow
+	failSet := map[int]bool{7: true, 19: true, 23: true}
+	for _, f := range all {
+		if !failSet[f.Src] && !failSet[f.Dst] {
+			flows = append(flows, f)
+		}
+	}
+	fmt.Printf("fabric: %d nodes; workload: %d flows among the %d always-live nodes\n\n",
+		nodes, len(flows), nodes-len(failSet))
+
+	run := func(label string, failed []int) float64 {
+		c := cfg
+		c.FailedNodes = failed
+		rep, err := c.Run(flows)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28s goodput %.3f   short-flow p99 %v\n",
+			label, rep.Goodput, rep.ShortFCTP99)
+		return rep.Goodput
+	}
+
+	healthy := run("healthy fabric:", nil)
+	one := run("1 node failed:", []int{7})
+	three := run("3 nodes failed:", []int{7, 19, 23})
+
+	fmt.Printf("\ngoodput retained: %.1f%% with one failure (ideal: %.1f%%),\n",
+		100*one/healthy, 100*float64(nodes-1)/nodes)
+	fmt.Printf("                  %.1f%% with three (ideal: %.1f%%).\n",
+		100*three/healthy, 100*float64(nodes-3)/nodes)
+	fmt.Println("\nFailures cost bandwidth proportionally; traffic keeps flowing")
+	fmt.Println("through the remaining intermediates without any rewiring.")
+}

@@ -1,0 +1,52 @@
+// Quickstart: build a 64-rack Sirius fabric, offer the paper's synthetic
+// workload at 50% load, and compare it against the idealized
+// electrically-switched baselines — a miniature Fig. 9 in thirty lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sirius"
+)
+
+func main() {
+	cfg := sirius.DefaultConfig(64) // 64 racks, 8x50G base uplinks, 1.5x provisioned
+	flows := sirius.Workload(cfg, 0.5, 4000, 1)
+
+	fmt.Printf("fabric: %d nodes, %d-port gratings, %d uplinks (%.1fx), %v Gbps/node\n",
+		cfg.Nodes, cfg.GratingPorts, cfg.Uplinks(),
+		cfg.UplinkMultiplier, cfg.NodeBandwidth().Gbit())
+	fmt.Printf("workload: %d flows, Pareto(1.05) sizes, Poisson arrivals\n\n", len(flows))
+
+	rep, err := cfg.Run(flows)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(rep)
+
+	idealCfg := cfg
+	idealCfg.Ideal = true
+	ideal, err := idealCfg.Run(flows)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(ideal)
+
+	esn, err := cfg.RunESN(flows, 1, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(esn)
+
+	osub, err := cfg.RunESN(flows, 3, cfg.GratingPorts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(osub)
+
+	fmt.Printf("\nSirius goodput is %.0f%% of the non-blocking ESN at half load,\n",
+		100*rep.Goodput/esn.Goodput)
+	fmt.Printf("with %.1f%% of cells taking the direct (no-detour) path.\n",
+		100*rep.DirectFraction)
+}

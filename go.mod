@@ -1,0 +1,3 @@
+module sirius
+
+go 1.22

@@ -1,0 +1,206 @@
+package cell
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"sirius/internal/rng"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	c := Cell{
+		Kind:    KindData,
+		Flags:   FlagLast,
+		Src:     12,
+		Dst:     107,
+		Flow:    0xDEADBEEF,
+		Seq:     42,
+		Payload: []byte("hello sirius"),
+	}
+	buf := c.Encode(nil)
+	got, n, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(buf) {
+		t.Errorf("consumed %d of %d bytes", n, len(buf))
+	}
+	if got.Kind != c.Kind || got.Flags != c.Flags || got.Src != c.Src ||
+		got.Dst != c.Dst || got.Flow != c.Flow || got.Seq != c.Seq ||
+		!bytes.Equal(got.Payload, c.Payload) {
+		t.Errorf("round trip mismatch: %+v != %+v", got, c)
+	}
+	if !got.Last() {
+		t.Error("Last flag lost")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, _, err := Decode([]byte{1, 2, 3}); err == nil {
+		t.Error("short buffer decoded")
+	}
+	c := Cell{Kind: KindData, Payload: []byte("x")}
+	buf := c.Encode(nil)
+	buf[0] = 0xFF
+	if _, _, err := Decode(buf); err == nil {
+		t.Error("bad magic decoded")
+	}
+	buf[0] = 0x5C
+	buf[1] = 99
+	if _, _, err := Decode(buf); err == nil {
+		t.Error("bad kind decoded")
+	}
+	buf[1] = byte(KindData)
+	if _, _, err := Decode(buf[:len(buf)-1]); err == nil {
+		t.Error("truncated payload decoded")
+	}
+}
+
+func TestEncodeStreaming(t *testing.T) {
+	// Multiple cells back to back decode in sequence.
+	var buf []byte
+	for i := 0; i < 5; i++ {
+		c := Cell{Kind: KindControl, Seq: uint32(i)}
+		buf = c.Encode(buf)
+	}
+	off := 0
+	for i := 0; i < 5; i++ {
+		c, n, err := Decode(buf[off:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Seq != uint32(i) {
+			t.Errorf("cell %d decoded seq %d", i, c.Seq)
+		}
+		off += n
+	}
+	if off != len(buf) {
+		t.Error("leftover bytes")
+	}
+}
+
+func TestPropertyRoundTrip(t *testing.T) {
+	f := func(kindRaw, flags uint8, src, dst uint16, flow, seq uint32, payload []byte) bool {
+		kind := Kind(kindRaw%3) + KindData
+		c := Cell{Kind: kind, Flags: flags, Src: src, Dst: dst, Flow: flow, Seq: seq, Payload: payload}
+		got, n, err := Decode(c.Encode(nil))
+		if err != nil || n != HeaderLen+len(payload) {
+			return false
+		}
+		return got.Kind == kind && got.Flags == flags && got.Src == src &&
+			got.Dst == dst && got.Flow == flow && got.Seq == seq &&
+			bytes.Equal(got.Payload, payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReorderInOrder(t *testing.T) {
+	r := NewReorder(562)
+	for i := uint32(0); i < 10; i++ {
+		if got := r.Add(i); got != 1 {
+			t.Fatalf("in-order add %d released %d cells, want 1", i, got)
+		}
+	}
+	if r.PeakBytes() != 0 {
+		t.Errorf("in-order delivery buffered %d bytes, want 0", r.PeakBytes())
+	}
+	if r.Delivered() != 10 {
+		t.Errorf("delivered = %d, want 10", r.Delivered())
+	}
+}
+
+func TestReorderOutOfOrder(t *testing.T) {
+	r := NewReorder(100)
+	if r.Add(2) != 0 || r.Add(1) != 0 {
+		t.Fatal("future cells should not deliver")
+	}
+	if r.Holding() != 2 {
+		t.Fatalf("holding %d, want 2", r.Holding())
+	}
+	// Cell 0 releases the whole run.
+	if got := r.Add(0); got != 3 {
+		t.Fatalf("released %d, want 3", got)
+	}
+	if r.Holding() != 0 {
+		t.Error("buffer not drained")
+	}
+	if r.PeakBytes() != 200 {
+		t.Errorf("peak = %d bytes, want 200", r.PeakBytes())
+	}
+}
+
+func TestReorderDuplicates(t *testing.T) {
+	r := NewReorder(100)
+	r.Add(0)
+	if r.Add(0) != 0 {
+		t.Error("duplicate of delivered cell released something")
+	}
+	r.Add(2)
+	if r.Add(2) != 0 {
+		t.Error("duplicate of held cell released something")
+	}
+	if r.Add(1) != 2 {
+		t.Error("wrong release after duplicates")
+	}
+}
+
+func TestReorderPropertyAnyPermutation(t *testing.T) {
+	// Any arrival permutation delivers all cells exactly once, in order.
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		perm := rng.New(seed).Perm(n)
+		r := NewReorder(1)
+		total := 0
+		for _, seq := range perm {
+			total += r.Add(uint32(seq))
+		}
+		return total == n && r.Holding() == 0 && r.Next() == uint32(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReorderPeakBound(t *testing.T) {
+	// Reversed arrival of n cells peaks at n-1 held.
+	r := NewReorder(1)
+	const n = 20
+	for i := n - 1; i >= 0; i-- {
+		r.Add(uint32(i))
+	}
+	if r.PeakBytes() != n-1 {
+		t.Errorf("peak = %d, want %d", r.PeakBytes(), n-1)
+	}
+}
+
+func TestCellsForBytes(t *testing.T) {
+	cases := []struct{ bytes, per, want int }{
+		{0, 542, 1},
+		{1, 542, 1},
+		{542, 542, 1},
+		{543, 542, 2},
+		{100_000, 542, 185},
+	}
+	for _, c := range cases {
+		if got := CellsForBytes(c.bytes, c.per); got != c.want {
+			t.Errorf("CellsForBytes(%d,%d) = %d, want %d", c.bytes, c.per, got, c.want)
+		}
+	}
+}
+
+func TestPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("NewReorder(0)", func() { NewReorder(0) })
+	mustPanic("CellsForBytes per=0", func() { CellsForBytes(10, 0) })
+}

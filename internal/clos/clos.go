@@ -1,0 +1,320 @@
+// Package clos is a packet-level simulator of the hierarchical,
+// electrically-switched folded-Clos network the paper compares against:
+// a k-ary fat tree with packet spraying across all equal-cost paths [23].
+//
+// It serves two purposes: it is the substrate the ESN baselines live on,
+// and at small scale it validates the fluid max-min idealization
+// (internal/fluid) that the paper's ESN (Ideal) baseline is defined by —
+// the fluid model must upper-bound and closely track this packet fabric.
+package clos
+
+import (
+	"fmt"
+
+	"sirius/internal/eventq"
+	"sirius/internal/metrics"
+	"sirius/internal/rng"
+	"sirius/internal/simtime"
+	"sirius/internal/workload"
+)
+
+// Config parameterizes the fabric.
+type Config struct {
+	// Radix is the switch port count (even, >= 4). The fat tree connects
+	// Radix^3/4 hosts across three tiers.
+	Radix int
+	// LinkRate is the rate of every link (host and inter-switch).
+	LinkRate simtime.Rate
+	// PacketBytes is the MTU-sized packet the fabric forwards.
+	PacketBytes int
+	// LinkDelay is the per-link propagation delay.
+	LinkDelay simtime.Duration
+	// CoreOversub oversubscribes the aggregation-to-core tier: each
+	// aggregation switch uses only (Radix/2)/CoreOversub of its core
+	// uplinks (minimum 1). 1 or 0 = non-blocking.
+	CoreOversub int
+	// Seed drives the spraying choices.
+	Seed uint64
+}
+
+// DefaultConfig returns a small validation fabric.
+func DefaultConfig(radix int) Config {
+	return Config{
+		Radix:       radix,
+		LinkRate:    50 * simtime.Gbps,
+		PacketBytes: 1500,
+		LinkDelay:   100 * simtime.Nanosecond,
+		Seed:        1,
+	}
+}
+
+// Hosts returns the number of hosts the fat tree supports.
+func (c Config) Hosts() int { return c.Radix * c.Radix * c.Radix / 4 }
+
+// Results mirrors the other simulators' results.
+type Results struct {
+	Flows            int
+	Completed        int
+	SimTime          simtime.Time
+	DeliveredBytes   int64
+	GoodputNorm      float64
+	FCTAll, FCTShort metrics.Sample
+	PacketsDelivered int64
+}
+
+// port is a transmit port: a serializing link with an implicit FIFO formed
+// by the busy-until horizon.
+type port struct {
+	busyUntil simtime.Time
+}
+
+// send schedules a packet's serialization on the port starting no earlier
+// than now, returning the time its last bit arrives at the other end.
+func (p *port) send(now simtime.Time, tx, prop simtime.Duration) simtime.Time {
+	start := now
+	if p.busyUntil > start {
+		start = p.busyUntil
+	}
+	p.busyUntil = start.Add(tx)
+	return p.busyUntil.Add(prop)
+}
+
+type sim struct {
+	cfg  Config
+	k    int // radix
+	half int // k/2
+	r    *rng.RNG
+	q    eventq.Queue
+
+	// Ports, indexed by direction and element. Hosts and edges per pod:
+	// pods = k, edges per pod = k/2, hosts per edge = k/2.
+	hostUp   []port // host -> edge
+	hostDown []port // edge -> host
+	edgeUp   []port // edge -> agg: [edge][agg] flattened (k/2 per edge)
+	edgeDown []port // agg -> edge
+	aggUp    []port // agg -> core: [agg][core-slot] (k/2 per agg)
+	aggDown  []port // core -> agg
+
+	remaining []int // packets outstanding per flow (delivery side)
+	toSend    []int // packets not yet transmitted by the source NIC
+	flows     []workload.Flow
+
+	// Host NICs do per-flow fair queueing (round-robin): real NICs keep
+	// per-flow send queues, and without this an elephant flow would
+	// head-of-line block every later flow from the same host.
+	hostRing []fifo
+	hostBusy []bool
+
+	res *Results
+}
+
+// fifo is a minimal int queue.
+type fifo struct {
+	items []int
+	head  int
+}
+
+func (q *fifo) push(v int) {
+	if q.head > 32 && q.head*2 > len(q.items) {
+		n := copy(q.items, q.items[q.head:])
+		q.items = q.items[:n]
+		q.head = 0
+	}
+	q.items = append(q.items, v)
+}
+
+func (q *fifo) pop() int {
+	v := q.items[q.head]
+	q.head++
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
+	return v
+}
+
+func (q *fifo) empty() bool { return q.head >= len(q.items) }
+
+// Run simulates the flows to completion.
+func Run(cfg Config, flows []workload.Flow) (*Results, error) {
+	if cfg.Radix < 4 || cfg.Radix%2 != 0 {
+		return nil, fmt.Errorf("clos: radix must be even and >= 4")
+	}
+	if cfg.LinkRate <= 0 || cfg.PacketBytes < 64 {
+		return nil, fmt.Errorf("clos: invalid link rate or packet size")
+	}
+	if cfg.CoreOversub < 0 {
+		return nil, fmt.Errorf("clos: negative oversubscription")
+	}
+	if cfg.CoreOversub == 0 {
+		cfg.CoreOversub = 1
+	}
+	hosts := cfg.Hosts()
+	for i, f := range flows {
+		if f.Src < 0 || f.Src >= hosts || f.Dst < 0 || f.Dst >= hosts || f.Src == f.Dst || f.Bytes < 1 {
+			return nil, fmt.Errorf("clos: invalid flow %+v for %d hosts", f, hosts)
+		}
+		if f.ID != i {
+			return nil, fmt.Errorf("clos: flow IDs must equal their index (flow %d has ID %d)", i, f.ID)
+		}
+	}
+	k := cfg.Radix
+	half := k / 2
+	nEdges := k * half // k pods x k/2 edges
+	nAggs := k * half
+	s := &sim{
+		cfg:      cfg,
+		k:        k,
+		half:     half,
+		r:        rng.New(cfg.Seed),
+		hostUp:   make([]port, hosts),
+		hostDown: make([]port, hosts),
+		edgeUp:   make([]port, nEdges*half),
+		edgeDown: make([]port, nAggs*half), // agg -> each of its pod's k/2 edges
+		aggUp:    make([]port, nAggs*half),
+		aggDown:  make([]port, half*half*k), // core -> each pod's agg: cores x k pods... see index fns
+		flows:    flows,
+		res:      &Results{Flows: len(flows)},
+	}
+	s.remaining = make([]int, len(flows))
+	s.toSend = make([]int, len(flows))
+	s.hostRing = make([]fifo, hosts)
+	s.hostBusy = make([]bool, hosts)
+	for i, f := range flows {
+		s.remaining[i] = (f.Bytes + cfg.PacketBytes - 1) / cfg.PacketBytes
+		s.toSend[i] = s.remaining[i]
+		fl := f
+		s.q.Schedule(f.Arrival, func() { s.injectFlow(fl) })
+	}
+	s.q.RunUntil(simtime.Time(1) << 62)
+	if s.res.Completed != len(flows) {
+		return nil, fmt.Errorf("clos: only %d of %d flows completed", s.res.Completed, len(flows))
+	}
+	if s.res.SimTime > 0 {
+		s.res.GoodputNorm = float64(s.res.DeliveredBytes) * 8 /
+			(s.res.SimTime.Seconds() * float64(hosts) * float64(cfg.LinkRate))
+	}
+	return s.res, nil
+}
+
+// Topology index helpers. Host h lives in pod h/(k/2)^2, under edge
+// (h mod (k/2)^2)/(k/2).
+func (s *sim) podOf(host int) int  { return host / (s.half * s.half) }
+func (s *sim) edgeOf(host int) int { return host / s.half } // global edge index
+
+// injectFlow registers the flow with its source NIC's fair scheduler.
+func (s *sim) injectFlow(f workload.Flow) {
+	s.hostRing[f.Src].push(f.ID)
+	s.kickHost(f.Src, f.Arrival)
+}
+
+// kickHost transmits the next packet at host h's NIC, round-robin across
+// its active flows.
+func (s *sim) kickHost(h int, now simtime.Time) {
+	if s.hostBusy[h] || s.hostRing[h].empty() {
+		return
+	}
+	id := s.hostRing[h].pop()
+	s.toSend[id]--
+	if s.toSend[id] > 0 {
+		s.hostRing[h].push(id) // round-robin re-queue
+	}
+	tx := s.cfg.LinkRate.TimeToSend(s.cfg.PacketBytes)
+	arrive := s.hostUp[h].send(now, tx, s.cfg.LinkDelay)
+	fl := s.flows[id]
+	s.q.Schedule(arrive, func() { s.atEdgeUp(fl, arrive) })
+	s.hostBusy[h] = true
+	free := arrive.Add(-s.cfg.LinkDelay)
+	s.q.Schedule(free, func() {
+		s.hostBusy[h] = false
+		s.kickHost(h, free)
+	})
+}
+
+// atEdgeUp handles a packet reaching the source edge switch.
+func (s *sim) atEdgeUp(f workload.Flow, now simtime.Time) {
+	tx := s.cfg.LinkRate.TimeToSend(s.cfg.PacketBytes)
+	srcEdge := s.edgeOf(f.Src)
+	if s.edgeOf(f.Dst) == srcEdge {
+		// Same edge: straight down.
+		arrive := s.hostDown[f.Dst].send(now, tx, s.cfg.LinkDelay)
+		s.q.Schedule(arrive, func() { s.atHost(f, arrive) })
+		return
+	}
+	// Spray to a random aggregation switch of this pod.
+	a := s.r.Intn(s.half)
+	arrive := s.edgeUp[srcEdge*s.half+a].send(now, tx, s.cfg.LinkDelay)
+	pod := s.podOf(f.Src)
+	aggID := pod*s.half + a
+	s.q.Schedule(arrive, func() { s.atAggUp(f, aggID, arrive) })
+}
+
+// atAggUp handles a packet at an aggregation switch heading up (or
+// turning down within the pod).
+func (s *sim) atAggUp(f workload.Flow, aggID int, now simtime.Time) {
+	tx := s.cfg.LinkRate.TimeToSend(s.cfg.PacketBytes)
+	pod := aggID / s.half
+	a := aggID % s.half
+	if s.podOf(f.Dst) == pod {
+		// Turn down to the destination edge.
+		edgeInPod := (f.Dst / s.half) % s.half
+		arrive := s.edgeDown[aggID*s.half+edgeInPod].send(now, tx, s.cfg.LinkDelay)
+		s.q.Schedule(arrive, func() { s.atEdgeDown(f, arrive) })
+		return
+	}
+	// Spray to one of this agg's usable core uplinks (the aggregation
+	// tier may be oversubscribed: fewer active uplinks share the load).
+	usable := s.half / s.cfg.CoreOversub
+	if usable < 1 {
+		usable = 1
+	}
+	c := s.r.Intn(usable)
+	arrive := s.aggUp[aggID*s.half+c].send(now, tx, s.cfg.LinkDelay)
+	core := a*s.half + c // core group a, member c
+	s.q.Schedule(arrive, func() { s.atCore(f, core, arrive) })
+}
+
+// atCore handles a packet at a core switch: down to the destination pod's
+// aggregation switch in this core's group.
+func (s *sim) atCore(f workload.Flow, core int, now simtime.Time) {
+	tx := s.cfg.LinkRate.TimeToSend(s.cfg.PacketBytes)
+	dstPod := s.podOf(f.Dst)
+	group := core / s.half // connects to agg index `group` in every pod
+	aggID := dstPod*s.half + group
+	arrive := s.aggDown[core*s.k+dstPod].send(now, tx, s.cfg.LinkDelay)
+	s.q.Schedule(arrive, func() { s.atAggDown(f, aggID, arrive) })
+}
+
+// atAggDown handles a packet descending through the destination pod.
+func (s *sim) atAggDown(f workload.Flow, aggID int, now simtime.Time) {
+	tx := s.cfg.LinkRate.TimeToSend(s.cfg.PacketBytes)
+	edgeInPod := (f.Dst / s.half) % s.half
+	arrive := s.edgeDown[aggID*s.half+edgeInPod].send(now, tx, s.cfg.LinkDelay)
+	s.q.Schedule(arrive, func() { s.atEdgeDown(f, arrive) })
+}
+
+// atEdgeDown handles a packet at the destination edge switch.
+func (s *sim) atEdgeDown(f workload.Flow, now simtime.Time) {
+	tx := s.cfg.LinkRate.TimeToSend(s.cfg.PacketBytes)
+	arrive := s.hostDown[f.Dst].send(now, tx, s.cfg.LinkDelay)
+	s.q.Schedule(arrive, func() { s.atHost(f, arrive) })
+}
+
+// atHost delivers a packet at the destination.
+func (s *sim) atHost(f workload.Flow, now simtime.Time) {
+	s.res.PacketsDelivered++
+	s.remaining[f.ID]--
+	if s.remaining[f.ID] > 0 {
+		return
+	}
+	s.res.Completed++
+	s.res.DeliveredBytes += int64(f.Bytes)
+	if now > s.res.SimTime {
+		s.res.SimTime = now
+	}
+	ms := now.Sub(f.Arrival).Seconds() * 1e3
+	s.res.FCTAll.Add(ms)
+	if f.Bytes < 100_000 {
+		s.res.FCTShort.Add(ms)
+	}
+}

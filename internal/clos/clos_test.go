@@ -1,0 +1,211 @@
+package clos
+
+import (
+	"math"
+	"testing"
+
+	"sirius/internal/fluid"
+	"sirius/internal/simtime"
+	"sirius/internal/workload"
+)
+
+func TestHostsCount(t *testing.T) {
+	if DefaultConfig(4).Hosts() != 16 {
+		t.Errorf("k=4 hosts = %d, want 16", DefaultConfig(4).Hosts())
+	}
+	if DefaultConfig(8).Hosts() != 128 {
+		t.Errorf("k=8 hosts = %d, want 128", DefaultConfig(8).Hosts())
+	}
+}
+
+func TestSingleFlowLatency(t *testing.T) {
+	cfg := DefaultConfig(4)
+	// One packet, cross-pod: host->edge->agg->core->agg->edge->host =
+	// 6 serializations + 6 link delays.
+	flows := []workload.Flow{{ID: 0, Src: 0, Dst: 15, Bytes: 1000}}
+	res, err := Run(cfg, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := cfg.LinkRate.TimeToSend(cfg.PacketBytes)
+	want := (6*tx + 6*cfg.LinkDelay).Seconds() * 1e3
+	if got := res.FCTAll.Max(); math.Abs(got-want) > want*0.01 {
+		t.Errorf("FCT = %v ms, want %v", got, want)
+	}
+}
+
+func TestSameEdgeShortPath(t *testing.T) {
+	cfg := DefaultConfig(4)
+	// Hosts 0 and 1 share an edge: 2 hops only.
+	flows := []workload.Flow{{ID: 0, Src: 0, Dst: 1, Bytes: 1000}}
+	res, err := Run(cfg, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := cfg.LinkRate.TimeToSend(cfg.PacketBytes)
+	want := (2*tx + 2*cfg.LinkDelay).Seconds() * 1e3
+	if got := res.FCTAll.Max(); math.Abs(got-want) > want*0.01 {
+		t.Errorf("intra-edge FCT = %v ms, want %v", got, want)
+	}
+}
+
+func TestSamePodTurnsAtAgg(t *testing.T) {
+	cfg := DefaultConfig(4)
+	// Hosts 0 and 2 share a pod but not an edge: 4 hops.
+	flows := []workload.Flow{{ID: 0, Src: 0, Dst: 2, Bytes: 1000}}
+	res, err := Run(cfg, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := cfg.LinkRate.TimeToSend(cfg.PacketBytes)
+	want := (4*tx + 4*cfg.LinkDelay).Seconds() * 1e3
+	if got := res.FCTAll.Max(); math.Abs(got-want) > want*0.01 {
+		t.Errorf("intra-pod FCT = %v ms, want %v", got, want)
+	}
+}
+
+func TestNICPacing(t *testing.T) {
+	cfg := DefaultConfig(4)
+	// A 15-packet flow is paced by the source NIC: FCT ≈ 15 tx + path.
+	flows := []workload.Flow{{ID: 0, Src: 0, Dst: 15, Bytes: 15 * 1500}}
+	res, err := Run(cfg, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := cfg.LinkRate.TimeToSend(cfg.PacketBytes)
+	floor := (15 * tx).Seconds() * 1e3
+	if got := res.FCTAll.Max(); got < floor {
+		t.Errorf("FCT = %v ms below NIC serialization floor %v", got, floor)
+	}
+}
+
+func TestAllFlowsComplete(t *testing.T) {
+	cfg := DefaultConfig(4)
+	wcfg := workload.DefaultConfig(16, 50*simtime.Gbps, 0.5, 800)
+	flows, err := workload.Generate(wcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(cfg, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != len(flows) {
+		t.Fatalf("completed %d of %d", res.Completed, len(flows))
+	}
+	if res.DeliveredBytes != workload.TotalBytes(flows) {
+		t.Error("byte conservation violated")
+	}
+}
+
+func TestFluidModelValidation(t *testing.T) {
+	// The central cross-check: the fluid ESN (Ideal) model must
+	// upper-bound this packet fabric (it idealizes away switch queueing
+	// and spraying collisions) while tracking it within a small factor at
+	// moderate load and light tails. The fluid model is given the
+	// fabric's path-latency floor via BaseRTT (6 store-and-forward hops).
+	cfg := DefaultConfig(4)
+	wcfg := workload.DefaultConfig(16, 50*simtime.Gbps, 0.3, 1500)
+	wcfg.MeanFlowBytes = 30e3
+	wcfg.ParetoShape = 3.0 // light tail: isolates model arithmetic from HoL tails
+	flows, err := workload.Generate(wcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	packet, err := Run(cfg, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := cfg.LinkRate.TimeToSend(cfg.PacketBytes)
+	ideal, err := fluid.Run(fluid.Config{
+		Endpoints:    16,
+		EndpointRate: 50 * simtime.Gbps,
+		Oversub:      1,
+		BaseRTT:      6 * (tx + cfg.LinkDelay),
+	}, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm, im := packet.FCTAll.Mean(), ideal.FCTAll.Mean()
+	if im > pm*1.05 {
+		t.Errorf("fluid mean FCT %v ms exceeds packet-level %v ms: not an upper bound", im, pm)
+	}
+	if im < pm*0.35 {
+		t.Errorf("fluid mean FCT %v ms far below packet-level %v ms: model too loose", im, pm)
+	}
+	// Goodput within 30%.
+	if math.Abs(ideal.GoodputNorm-packet.GoodputNorm) > 0.3*packet.GoodputNorm {
+		t.Errorf("goodput: fluid %v vs packet %v", ideal.GoodputNorm, packet.GoodputNorm)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	flows := []workload.Flow{{Src: 0, Dst: 1, Bytes: 1}}
+	if _, err := Run(Config{Radix: 3, LinkRate: 1, PacketBytes: 1500}, flows); err == nil {
+		t.Error("odd radix accepted")
+	}
+	if _, err := Run(Config{Radix: 4, LinkRate: 0, PacketBytes: 1500}, flows); err == nil {
+		t.Error("zero rate accepted")
+	}
+	bad := []workload.Flow{{Src: 0, Dst: 99, Bytes: 1}}
+	if _, err := Run(DefaultConfig(4), bad); err == nil {
+		t.Error("out-of-range host accepted")
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	cfg := DefaultConfig(4)
+	wcfg := workload.DefaultConfig(16, 50*simtime.Gbps, 0.5, 200)
+	flows, _ := workload.Generate(wcfg)
+	a, err := Run(cfg, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.SimTime != b.SimTime || a.PacketsDelivered != b.PacketsDelivered {
+		t.Error("same seed, different outcome")
+	}
+}
+
+func TestOversubscribedCoreSlower(t *testing.T) {
+	// With a 2:1 oversubscribed aggregation-core tier, heavy cross-pod
+	// traffic queues and the makespan stretches versus the non-blocking
+	// fabric.
+	wcfg := workload.DefaultConfig(16, 50*simtime.Gbps, 0.9, 800)
+	wcfg.MeanFlowBytes = 60e3
+	flows, err := workload.Generate(wcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb, err := Run(DefaultConfig(4), flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ocfg := DefaultConfig(4)
+	ocfg.CoreOversub = 2
+	osub, err := Run(ocfg, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The makespan is pinned by the largest flow's NIC serialization, so
+	// the congestion shows up in the FCT distribution instead.
+	if osub.FCTAll.Mean() <= nb.FCTAll.Mean() {
+		t.Errorf("oversubscribed mean FCT %v not above non-blocking %v",
+			osub.FCTAll.Mean(), nb.FCTAll.Mean())
+	}
+	if osub.FCTAll.Percentile(99) <= nb.FCTAll.Percentile(99) {
+		t.Errorf("oversubscribed p99 FCT %v not above non-blocking %v",
+			osub.FCTAll.Percentile(99), nb.FCTAll.Percentile(99))
+	}
+}
+
+func TestOversubValidation(t *testing.T) {
+	cfg := DefaultConfig(4)
+	cfg.CoreOversub = -1
+	if _, err := Run(cfg, []workload.Flow{{Src: 0, Dst: 15, Bytes: 1}}); err == nil {
+		t.Error("negative oversubscription accepted")
+	}
+}

@@ -1,0 +1,789 @@
+// Package core is the Sirius network simulator: the paper's primary
+// contribution assembled from its substrates.
+//
+// The simulation is slot-synchronous. Global time advances in fixed slots
+// (cell transmission time plus guardband); in every slot each uplink of
+// each node transmits according to the static cyclic schedule
+// (internal/schedule). Traffic follows Valiant load balancing (§4.2):
+// every cell detours through at most one intermediate node, chosen by the
+// request/grant congestion-control protocol (internal/congestion) that
+// bounds per-destination queues at intermediates to Q cells. Control
+// messages ride piggybacked on scheduled cells, so requests and grants
+// each take one epoch to propagate.
+//
+// Three operating modes cover the paper's §7 systems and the ablation
+// that motivates the design:
+//
+//   - ModeRequestGrant — SIRIUS: the real protocol.
+//   - ModeIdeal — SIRIUS (IDEAL): per-flow queues and back-pressure with
+//     no request/grant round trip; an upper bound used to price the
+//     protocol's startup latency.
+//   - ModeDirect — no load balancing at all; each pair is limited to its
+//     direct slots (the §4.1 baseline VLB exists to beat).
+//
+// docs/PROTOCOL.md specifies the protocol as implemented and justifies
+// each deviation from the paper's prose.
+package core
+
+import (
+	"fmt"
+
+	"sirius/internal/cell"
+	"sirius/internal/congestion"
+	"sirius/internal/metrics"
+	"sirius/internal/phy"
+	"sirius/internal/rng"
+	"sirius/internal/schedule"
+	"sirius/internal/simtime"
+	"sirius/internal/workload"
+)
+
+// Mode selects the congestion-control discipline.
+type Mode int
+
+// Modes.
+const (
+	// ModeRequestGrant runs the paper's request/grant protocol (§4.3).
+	ModeRequestGrant Mode = iota
+	// ModeIdeal runs the idealized grant-free variant: cells spread over
+	// intermediates immediately with unbounded queues (per-flow queues +
+	// back-pressure in the paper's terms).
+	ModeIdeal
+	// ModeDirect disables Valiant load balancing entirely: cells wait
+	// for the slot that connects source to destination directly. Each
+	// pair then gets only k/N of the node bandwidth — the §4.1
+	// observation that motivates detouring ("with simple direct routing,
+	// the nodes would only be able to communicate directly with a
+	// fraction of their total uplink bandwidth").
+	ModeDirect
+)
+
+// Config parameterizes a simulation run.
+type Config struct {
+	// Schedule is the static cyclic schedule (grouped or rotor).
+	Schedule schedule.Schedule
+	// Slot is the timeslot structure (cell size, line rate, guardband).
+	Slot phy.Slot
+	// Q is the per-destination queue bound at intermediates, expressed
+	// per pair-connection per epoch as in §4.3 (where the schedule
+	// connects each pair once per epoch). Schedules with k connections
+	// per epoch scale the bound to k·Q so the in-flight window still
+	// covers the grant round trip at full rate. ModeIdeal uses the same
+	// bound for its oracle back-pressure.
+	Q int
+	// Mode selects SIRIUS or SIRIUS (IDEAL).
+	Mode Mode
+	// NormalizeRate is the per-node reference bandwidth used for goodput
+	// normalization (the paper normalizes by N·R of the *baseline*
+	// provisioning, so extra VLB uplinks don't inflate the metric).
+	NormalizeRate simtime.Rate
+	// HopPropagation is added per fiber traversal when reporting flow
+	// completion times (zero = co-located, the default for comparisons).
+	HopPropagation simtime.Duration
+	// TrackReorder enables per-flow reorder-buffer accounting (Fig. 10d).
+	TrackReorder bool
+	// KeepPerFlow retains per-flow completion times in the results.
+	KeepPerFlow bool
+	// FailedNodes marks nodes as failed (§4.5): their schedule slots go
+	// dark (pass a schedule.Degraded as Schedule to enforce that) and
+	// they are never chosen as intermediates. Flows touching them are
+	// rejected.
+	FailedNodes []int
+	// NoDirect is an ablation: the destination is never chosen as the
+	// intermediate, so every cell detours (pure VLB).
+	NoDirect bool
+	// InstantControl is an ablation: requests and grants propagate with
+	// zero latency instead of piggybacking for an epoch each.
+	InstantControl bool
+	// InjectRate, when positive, paces flow cells into each node's LOCAL
+	// queue at that many cells per slot — the aggregate rate of the
+	// intra-rack tier's server downlinks in a rack-based deployment.
+	// Flows at one node are served round-robin (per-flow queues at the
+	// rack switch). Zero means cells enter LOCAL instantly on arrival
+	// (server-based deployment or an uncongested rack tier).
+	InjectRate int
+	// LocalCap, when positive, bounds each node's LOCAL occupancy in
+	// cells; injection stalls while LOCAL is full (the credit-based
+	// back-pressure of §4.3's one-hop flow control). Zero = unbounded.
+	LocalCap int
+	// Seed feeds all randomness (intermediate choice etc.).
+	Seed uint64
+	// MaxSlots caps the run as a safety net; 0 means a generous default.
+	MaxSlots int64
+}
+
+// Results summarizes a run.
+type Results struct {
+	Flows     int
+	Completed int
+	// SimTime is the instant the last cell was delivered.
+	SimTime simtime.Time
+	// Slots is how many timeslots were simulated (idle gaps skipped).
+	Slots int64
+	// DeliveredBytes counts application bytes of completed flows.
+	DeliveredBytes int64
+	// GoodputNorm is the normalized goodput measured over the arrival
+	// window (§7: bytes received during the simulation over simulation
+	// time, normalized by N·R): payload bytes delivered by the time of
+	// the last flow arrival, divided by that window. Measuring over the
+	// window rather than the makespan keeps a single straggling elephant
+	// from dominating the metric. When the window is degenerate (a single
+	// arrival instant) the makespan is used instead.
+	GoodputNorm float64
+	// MakespanGoodput is the alternative normalization over the full
+	// makespan (delivered bytes / SimTime / N·R) — preferable when the
+	// arrival window is short relative to the fabric's base latency.
+	MakespanGoodput float64
+	// FCTAll and FCTShort collect flow completion times in milliseconds;
+	// short flows are those under 100 KB (§7).
+	FCTAll, FCTShort metrics.Sample
+	// Slowdown collects each flow's completion time relative to its
+	// ideal transmission time at the full baseline node bandwidth — the
+	// standard flow-slowdown metric (1 = as fast as an unloaded,
+	// zero-latency network could go).
+	Slowdown metrics.Sample
+	// PeakNodeQueueBytes is the largest aggregate forward-queue occupancy
+	// observed at any single node (Fig. 10c).
+	PeakNodeQueueBytes int
+	// PeakReorderBytes is the largest per-flow reorder buffer observed
+	// (Fig. 10d; zero unless TrackReorder).
+	PeakReorderBytes int
+	// DirectFraction is the fraction of cells that reached their
+	// destination without a detour (intermediate == destination).
+	DirectFraction float64
+	// PerFlowFCT holds each flow's completion time, indexed like the
+	// input flows (only when Config.KeepPerFlow is set).
+	PerFlowFCT []simtime.Duration
+}
+
+// sim is the run state.
+type sim struct {
+	cfg     Config
+	n       int
+	uplinks int
+	epochE  int
+	k       int // pair connections per epoch
+	payload int
+
+	flows      []workload.Flow
+	cellsTotal []int32            // cells per flow
+	cellsLeft  []int32            // cells not yet delivered, per flow
+	consumed   []int32            // next LOCAL-departure sequence number, per flow
+	fct        []simtime.Duration // completion time, -1 while incomplete
+	reorder    []*cell.Reorder
+
+	window      simtime.Time // last flow arrival: goodput window end
+	windowBytes int64        // application bytes delivered inside the window
+
+	// LOCAL: per-destination flow queues. Requests are generated by
+	// cycling over the destination queues (DRRM style — one request per
+	// queued cell, destinations served round-robin) so an elephant flow
+	// cannot monopolize the request budget; cells of one destination
+	// leave in FIFO order.
+	byDst       []fifo[int32] // per node*n: flow ids per destination
+	demandStart []int         // per node: round-robin offset over destinations
+	localCount  []int64       // per node: total cells in LOCAL
+	rrDst       []int         // per node: round-robin pull pointer (ModeIdeal)
+
+	// Intra-rack pacing (InjectRate > 0): flows whose cells have not yet
+	// entered LOCAL, round-robin per node, with remaining-cell counts.
+	pendingQ   []fifo[int32] // per node: flow ids awaiting injection
+	toInject   []int32       // per flow: cells not yet in LOCAL
+	pendingOut int64         // cells waiting across all pending queues
+
+	voq  []fifo[int64] // per node*n: granted cell refs awaiting the slot to via
+	fwdq []fifo[int64] // per node*n: cell refs queued at intermediate per final dst
+
+	// ModeIdeal back-pressure state: committed cells (in VOQ, in flight
+	// or queued) per (via, final dst), bounded by Q; and rotating via
+	// pointers per (source, dst) for fair spreading.
+	idealQ    []int32
+	viaPtr    []int32
+	viaBudget []int32 // scratch: per-via VOQ top-up budget
+	cands     []int32 // scratch: destination queues with backlog
+
+	// tieBreak alternates each (node, peer) slot between forwarding
+	// (fwdq) and fresh granted cells (voq) when both contend: strict
+	// forwarding priority would let a saturated destination starve every
+	// node's fresh cells routed via it.
+	tieBreak []bool
+
+	queueGauge []metrics.Peak // per node: aggregate fwdq occupancy (cells)
+
+	cc     *congestion.Controller
+	r      *rng.RNG
+	failed []bool // failed-node mask (nil = none)
+
+	// dstTable flattens the schedule ([slot][node][uplink] -> dst, -1 =
+	// dark) so the hot loop avoids interface calls.
+	dstTable []int32
+	// workCells counts the cells a node currently has to transmit (its
+	// VOQs plus its forward queues); nodes at zero are skipped in the
+	// slot loop, which is most nodes most slots at low load.
+	workCells []int32
+
+	epoch        int64 // epochs elapsed (drives rotation fairness)
+	out          int64 // cells anywhere in the system
+	delivered    int64
+	direct       int64
+	total        int64
+	deliveredB   int64
+	completed    int
+	lastDelivery simtime.Time
+	peakReorder  int
+
+	demandBuf    []int
+	demandCands  []int32 // scratch: nonempty destinations
+	demandCounts []int32 // scratch: their queue lengths
+}
+
+// Run simulates the given flows to completion and returns the results.
+func Run(cfg Config, flows []workload.Flow) (*Results, error) {
+	if cfg.Schedule == nil {
+		return nil, fmt.Errorf("core: nil schedule")
+	}
+	if cfg.Slot.CellBytes <= cell.HeaderLen {
+		return nil, fmt.Errorf("core: cell size %dB does not fit the %dB header",
+			cfg.Slot.CellBytes, cell.HeaderLen)
+	}
+	if cfg.Q < 2 {
+		// §4.3: the minimum is 2 — within one epoch a node can receive a
+		// new cell for a destination before transmitting the previous.
+		// The bound also disciplines ModeIdeal's back-pressure.
+		return nil, fmt.Errorf("core: queue bound must be >= 2")
+	}
+	if cfg.NormalizeRate <= 0 {
+		return nil, fmt.Errorf("core: non-positive normalize rate")
+	}
+	n := cfg.Schedule.Nodes()
+	var failed []bool
+	if len(cfg.FailedNodes) > 0 {
+		failed = make([]bool, n)
+		for _, fn := range cfg.FailedNodes {
+			if fn < 0 || fn >= n {
+				return nil, fmt.Errorf("core: failed node %d out of range", fn)
+			}
+			failed[fn] = true
+		}
+	}
+	for _, f := range flows {
+		if f.Src < 0 || f.Src >= n || f.Dst < 0 || f.Dst >= n || f.Src == f.Dst || f.Bytes < 1 {
+			return nil, fmt.Errorf("core: invalid flow %+v", f)
+		}
+		if failed != nil && (failed[f.Src] || failed[f.Dst]) {
+			return nil, fmt.Errorf("core: flow %d touches a failed node", f.ID)
+		}
+	}
+
+	s := &sim{
+		cfg:     cfg,
+		n:       n,
+		uplinks: cfg.Schedule.Uplinks(),
+		epochE:  cfg.Schedule.SlotsPerEpoch(),
+		k:       cfg.Schedule.ConnectionsPerEpoch(),
+		payload: cfg.Slot.CellBytes - cell.HeaderLen,
+		flows:   flows,
+		r:       rng.New(cfg.Seed),
+	}
+	s.cellsTotal = make([]int32, len(flows))
+	s.cellsLeft = make([]int32, len(flows))
+	s.consumed = make([]int32, len(flows))
+	s.fct = make([]simtime.Duration, len(flows))
+	for i, f := range flows {
+		s.cellsTotal[i] = int32(cell.CellsForBytes(f.Bytes, s.payload))
+		s.cellsLeft[i] = s.cellsTotal[i]
+		s.fct[i] = -1
+		if f.Arrival > s.window {
+			s.window = f.Arrival
+		}
+	}
+	if cfg.TrackReorder {
+		s.reorder = make([]*cell.Reorder, len(flows))
+	}
+	s.byDst = make([]fifo[int32], n*n)
+	s.demandStart = make([]int, n)
+	s.localCount = make([]int64, n)
+	s.rrDst = make([]int, n)
+	if cfg.InjectRate > 0 || cfg.LocalCap > 0 {
+		if cfg.InjectRate < 0 || cfg.LocalCap < 0 {
+			return nil, fmt.Errorf("core: negative inject rate or local cap")
+		}
+		if cfg.InjectRate == 0 {
+			return nil, fmt.Errorf("core: LocalCap needs a finite InjectRate")
+		}
+		s.pendingQ = make([]fifo[int32], n)
+		s.toInject = make([]int32, len(flows))
+	}
+	s.voq = make([]fifo[int64], n*n)
+	s.fwdq = make([]fifo[int64], n*n)
+	s.queueGauge = make([]metrics.Peak, n)
+	s.demandBuf = make([]int, 0, n)
+	s.tieBreak = make([]bool, n*n)
+	s.workCells = make([]int32, n)
+	if cfg.Mode == ModeIdeal {
+		s.idealQ = make([]int32, n*n)
+		s.viaPtr = make([]int32, n*n)
+		s.viaBudget = make([]int32, n)
+		s.cands = make([]int32, 0, n)
+	}
+	s.failed = failed
+	s.dstTable = make([]int32, s.epochE*n*s.uplinks)
+	for e := 0; e < s.epochE; e++ {
+		for node := 0; node < n; node++ {
+			for u := 0; u < s.uplinks; u++ {
+				s.dstTable[(e*n+node)*s.uplinks+u] = int32(cfg.Schedule.Dst(node, u, e))
+			}
+		}
+	}
+	if cfg.Mode == ModeRequestGrant {
+		var err error
+		s.cc, err = congestion.New(n, cfg.Q*s.k, s.k, cfg.Seed^0xC0FFEE)
+		if err != nil {
+			return nil, err
+		}
+		if failed != nil {
+			if err := s.cc.ExcludeVias(failed); err != nil {
+				return nil, err
+			}
+		}
+		if cfg.NoDirect {
+			s.cc.DisallowDirect()
+		}
+		if cfg.InstantControl {
+			s.cc.InstantControl()
+		}
+	}
+	return s.run()
+}
+
+func (s *sim) run() (*Results, error) {
+	slotDur := s.cfg.Slot.Duration()
+	maxSlots := s.cfg.MaxSlots
+	if maxSlots == 0 {
+		maxSlots = 2_000_000_000
+	}
+	next := 0 // next flow to inject
+	var slot int64
+	quiescent := 0
+
+	for ; slot < maxSlots; slot++ {
+		now := simtime.Time(slot * int64(slotDur))
+		// Inject flows that have arrived by the start of this slot.
+		for next < len(s.flows) && s.flows[next].Arrival <= now {
+			s.inject(int32(next))
+			next++
+		}
+		if s.pendingQ != nil && s.pendingOut > 0 {
+			s.drainPending()
+		}
+
+		e := int(slot % int64(s.epochE))
+		if e == 0 {
+			if s.out == 0 {
+				quiescent++
+			} else {
+				quiescent = 0
+			}
+			if quiescent >= 3 {
+				if next >= len(s.flows) {
+					break // all delivered, nothing more to come
+				}
+				// Nothing in flight and the control plane has drained:
+				// jump ahead to the epoch of the next arrival.
+				arriveSlot := int64(s.flows[next].Arrival) / int64(slotDur)
+				target := arriveSlot - arriveSlot%int64(s.epochE)
+				if target > slot {
+					slot = target - 1 // loop increment lands on target
+					continue
+				}
+			}
+			s.epochBoundary()
+		}
+
+		// Transmit on every uplink of every node.
+		deliverAt := now.Add(slotDur)
+		row := s.dstTable[e*s.n*s.uplinks : (e+1)*s.n*s.uplinks]
+		for node := 0; node < s.n; node++ {
+			if s.workCells[node] == 0 {
+				continue
+			}
+			for u := 0; u < s.uplinks; u++ {
+				dst := int(row[node*s.uplinks+u])
+				if dst < 0 || dst == node {
+					continue
+				}
+				s.transmit(node, dst, deliverAt)
+			}
+		}
+	}
+	if slot >= maxSlots {
+		return nil, fmt.Errorf("core: slot cap %d reached with %d/%d flows complete",
+			maxSlots, s.completed, len(s.flows))
+	}
+
+	res := &Results{
+		Flows:            len(s.flows),
+		Completed:        s.completed,
+		SimTime:          s.lastDelivery,
+		Slots:            slot,
+		DeliveredBytes:   s.deliveredB,
+		PeakReorderBytes: s.peakReorder,
+	}
+	for i := range s.queueGauge {
+		if b := s.queueGauge[i].Peak() * s.cfg.Slot.CellBytes; b > res.PeakNodeQueueBytes {
+			res.PeakNodeQueueBytes = b
+		}
+	}
+	if s.total > 0 {
+		res.DirectFraction = float64(s.direct) / float64(s.total)
+	}
+	denom := float64(s.n) * float64(s.cfg.NormalizeRate)
+	if res.SimTime > 0 {
+		res.MakespanGoodput = float64(s.deliveredB) * 8 / (res.SimTime.Seconds() * denom)
+	}
+	if s.window > 0 {
+		res.GoodputNorm = float64(s.windowBytes) * 8 / (s.window.Seconds() * denom)
+	} else {
+		res.GoodputNorm = res.MakespanGoodput
+	}
+	for i := range s.flows {
+		if s.fct[i] < 0 {
+			continue
+		}
+		ms := s.fct[i].Seconds() * 1e3
+		res.FCTAll.Add(ms)
+		if s.flows[i].Bytes < 100_000 {
+			res.FCTShort.Add(ms)
+		}
+		ideal := s.cfg.NormalizeRate.TimeToSend(s.flows[i].Bytes)
+		res.Slowdown.Add(float64(s.fct[i]) / float64(ideal))
+	}
+	if s.cfg.KeepPerFlow {
+		res.PerFlowFCT = s.fct
+	}
+	return res, nil
+}
+
+// inject makes flow f's cells available at its source: directly into
+// LOCAL, or into the paced per-node pending queue when the intra-rack
+// tier is modeled.
+func (s *sim) inject(f int32) {
+	fl := &s.flows[f]
+	cells := int(s.cellsLeft[f])
+	s.out += int64(cells)
+	s.total += int64(cells)
+	if s.pendingQ != nil {
+		s.toInject[f] = int32(cells)
+		s.pendingQ[fl.Src].push(f)
+		s.pendingOut += int64(cells)
+		return
+	}
+	q := &s.byDst[fl.Src*s.n+fl.Dst]
+	for c := 0; c < cells; c++ {
+		q.push(f)
+	}
+	s.localCount[fl.Src] += int64(cells)
+}
+
+// drainPending moves pending cells into LOCAL at the intra-rack rate,
+// one cell per flow per turn (the rack tier's per-flow fairness),
+// stalling on the LOCAL bound.
+func (s *sim) drainPending() {
+	for node := 0; node < s.n; node++ {
+		pq := &s.pendingQ[node]
+		if pq.empty() {
+			continue
+		}
+		budget := s.cfg.InjectRate
+		for budget > 0 && !pq.empty() {
+			if s.cfg.LocalCap > 0 && s.localCount[node] >= int64(s.cfg.LocalCap) {
+				break // credit back-pressure: LOCAL is full
+			}
+			f := pq.pop()
+			s.byDst[node*s.n+s.flows[f].Dst].push(f)
+			s.localCount[node]++
+			s.pendingOut--
+			s.toInject[f]--
+			if s.toInject[f] > 0 {
+				pq.push(f)
+			}
+			budget--
+		}
+	}
+}
+
+// consume takes the oldest LOCAL cell of node for dst and returns its
+// packed reference, stamping the departure sequence number used by the
+// destination's reorder buffer. The caller is responsible for the
+// corresponding walk-queue entry (skip counter or direct pop).
+func (s *sim) consume(node, dst int) int64 {
+	f := s.byDst[node*s.n+dst].pop()
+	s.localCount[node]--
+	seq := s.consumed[f]
+	s.consumed[f]++
+	return cellRef(f, seq)
+}
+
+// epochBoundary runs the control plane for the coming epoch.
+func (s *sim) epochBoundary() {
+	switch s.cfg.Mode {
+	case ModeRequestGrant:
+		grants := s.cc.Tick(s.demand)
+		for _, gs := range grants {
+			for _, g := range gs {
+				if s.byDst[g.Src*s.n+g.Dst].empty() {
+					s.cc.OnGrantUnused(g.Via, g.Dst)
+					continue
+				}
+				s.voq[g.Src*s.n+g.Via].push(s.consume(g.Src, g.Dst))
+				s.workCells[g.Src]++
+			}
+		}
+	case ModeDirect:
+		// No detouring: every LOCAL cell goes to the VOQ of its own
+		// destination and waits for the direct slot.
+		for node := 0; node < s.n; node++ {
+			if s.localCount[node] == 0 {
+				continue
+			}
+			for dst := 0; dst < s.n; dst++ {
+				q := &s.byDst[node*s.n+dst]
+				for !q.empty() {
+					s.voq[node*s.n+dst].push(s.consume(node, dst))
+					s.workCells[node]++
+				}
+			}
+		}
+	case ModeIdeal:
+		// Idealized per-flow queues with back-pressure and no control
+		// latency: each epoch every source tops up its VOQs to the k
+		// cells per intermediate the schedule can serve, pulling fairly
+		// (round-robin) across its destination queues, and commits a
+		// cell to an intermediate only while that intermediate's queue
+		// for the cell's destination is below the bound — the same
+		// discipline the protocol enforces, but known instantly (oracle
+		// back-pressure) instead of via a request/grant round trip. The
+		// node processing order rotates so freed downstream capacity is
+		// shared fairly among competing sources.
+		start := int(s.epoch % int64(s.n))
+		for j := 0; j < s.n; j++ {
+			s.idealPull((start + j) % s.n)
+		}
+	}
+	s.epoch++
+}
+
+// idealPull moves cells from node's LOCAL queues into its VOQs under the
+// oracle back-pressure discipline.
+func (s *sim) idealPull(node int) {
+	if s.localCount[node] == 0 {
+		return
+	}
+	// Remaining VOQ space per intermediate this epoch.
+	total := 0
+	for via := 0; via < s.n; via++ {
+		b := s.k - s.voq[node*s.n+via].len()
+		if via == node || b < 0 {
+			b = 0
+		}
+		s.viaBudget[via] = int32(b)
+		total += b
+	}
+	if total == 0 {
+		return
+	}
+	// Destination queues with backlog, in rotating order for fairness.
+	cands := s.cands[:0]
+	start := s.rrDst[node] % s.n
+	s.rrDst[node]++
+	for j := 0; j < s.n; j++ {
+		d := (start + j) % s.n
+		if !s.byDst[node*s.n+d].empty() {
+			cands = append(cands, int32(d))
+		}
+	}
+	// Round-robin one cell per destination per pass.
+	for total > 0 && len(cands) > 0 {
+		w := 0
+		for _, d32 := range cands {
+			d := int(d32)
+			via, ok := s.findVia(node, d)
+			if !ok {
+				continue // back-pressured: every eligible via is full for d
+			}
+			s.voq[node*s.n+via].push(s.consume(node, d))
+			s.workCells[node]++
+			s.idealQ[via*s.n+d]++
+			s.viaBudget[via]--
+			total--
+			if total == 0 {
+				break
+			}
+			if !s.byDst[node*s.n+d].empty() {
+				cands[w] = d32
+				w++
+			}
+		}
+		if w == 0 {
+			break
+		}
+		cands = cands[:w]
+	}
+	s.cands = cands[:0]
+}
+
+// findVia picks an intermediate for a cell of (node -> d): the next via in
+// rotating order with VOQ budget left and committed cells for d below Q.
+func (s *sim) findVia(node, d int) (int, bool) {
+	ptr := int(s.viaPtr[node*s.n+d])
+	for j := 0; j < s.n; j++ {
+		via := (ptr + j) % s.n
+		if via == node || s.viaBudget[via] == 0 || (s.failed != nil && s.failed[via]) ||
+			(s.cfg.NoDirect && via == d) {
+			continue
+		}
+		// The destination itself consumes immediately; intermediates are
+		// bounded at k·Q committed cells for d (see Config.Q).
+		if via != d && s.idealQ[via*s.n+d] >= int32(s.cfg.Q*s.k) {
+			continue
+		}
+		s.viaPtr[node*s.n+d] = int32(via + 1)
+		return via, true
+	}
+	return 0, false
+}
+
+// demand enumerates up to k*(n-1) queued cells of node's LOCAL buffer,
+// one request candidate each, cycling round-robin over the
+// per-destination queues (and rotating the starting destination each
+// epoch) so every destination with backlog gets request opportunities
+// regardless of how large the other queues are. The returned slice is
+// valid until the next call.
+func (s *sim) demand(node int) []int {
+	buf := s.demandBuf[:0]
+	limit := s.k * (s.n - 1)
+	start := s.demandStart[node] % s.n
+	s.demandStart[node]++
+	// One scan collects the destinations with backlog and their depths.
+	cands, counts := s.demandCands[:0], s.demandCounts[:0]
+	base := node * s.n
+	for j := 0; j < s.n; j++ {
+		d := (start + j) % s.n
+		if l := s.byDst[base+d].len(); l > 0 {
+			cands = append(cands, int32(d))
+			counts = append(counts, int32(l))
+		}
+	}
+	// Distribute the budget one cell per destination per pass, dropping
+	// exhausted queues from the compact candidate list.
+	for len(buf) < limit && len(cands) > 0 {
+		w := 0
+		for i, d := range cands {
+			buf = append(buf, int(d))
+			counts[i]--
+			if counts[i] > 0 {
+				cands[w], counts[w] = d, counts[i]
+				w++
+			}
+			if len(buf) == limit {
+				break
+			}
+		}
+		cands, counts = cands[:w], counts[:w]
+	}
+	s.demandBuf = buf
+	s.demandCands, s.demandCounts = cands[:0], counts[:0]
+	return buf
+}
+
+// transmit sends at most one cell from node to dst in this slot: either a
+// queued detour cell the node forwards as an intermediate (fwdq) or a
+// fresh granted cell headed to dst as its intermediate (voq). When both
+// have backlog the slot alternates between the two roles so neither can
+// starve the other.
+func (s *sim) transmit(node, dst int, deliverAt simtime.Time) {
+	idx := node*s.n + dst
+	fw, vq := &s.fwdq[idx], &s.voq[idx]
+	useFwd := !fw.empty()
+	if useFwd && !vq.empty() {
+		useFwd = s.tieBreak[idx]
+		s.tieBreak[idx] = !s.tieBreak[idx]
+	}
+	switch {
+	case useFwd:
+		// Forward a cell queued at this node (as intermediate) destined
+		// dst: final delivery.
+		ref := fw.pop()
+		s.workCells[node]--
+		s.queueGauge[node].Add(-1)
+		if s.cc != nil {
+			s.cc.OnCellForwarded(node, dst)
+		}
+		if s.idealQ != nil {
+			s.idealQ[idx]--
+		}
+		s.deliver(ref, deliverAt.Add(s.cfg.HopPropagation*2))
+	case !vq.empty():
+		// Send a granted cell to its intermediate (possibly the final
+		// destination itself: the direct path).
+		ref := vq.pop()
+		s.workCells[node]--
+		flow, _ := unpackRef(ref)
+		final := s.flows[flow].Dst
+		if s.cc != nil {
+			s.cc.OnCellArrived(dst, final)
+		}
+		if dst == final {
+			s.direct++
+			if s.idealQ != nil {
+				s.idealQ[dst*s.n+final]--
+			}
+			s.deliver(ref, deliverAt.Add(s.cfg.HopPropagation*2))
+			return
+		}
+		s.fwdq[dst*s.n+final].push(ref)
+		s.workCells[dst]++
+		s.queueGauge[dst].Add(1)
+	}
+	// Otherwise idle: the slot carries only piggybacked control (already
+	// modeled by the epoch-granularity control plane).
+}
+
+// deliver accounts one cell reaching its destination.
+func (s *sim) deliver(ref int64, at simtime.Time) {
+	flow, seq := unpackRef(ref)
+	s.out--
+	s.delivered++
+	if at <= s.window {
+		// Application bytes of this cell: full payloads except the
+		// flow's final cell, which carries the remainder.
+		b := s.payload
+		if seq == s.cellsTotal[flow]-1 {
+			b = s.flows[flow].Bytes - int(s.cellsTotal[flow]-1)*s.payload
+		}
+		s.windowBytes += int64(b)
+	}
+	if s.reorder != nil {
+		r := s.reorder[flow]
+		if r == nil {
+			r = cell.NewReorder(s.cfg.Slot.CellBytes)
+			s.reorder[flow] = r
+		}
+		r.Add(uint32(seq))
+		if b := r.PeakBytes(); b > s.peakReorder {
+			s.peakReorder = b
+		}
+	}
+	s.cellsLeft[flow]--
+	if at > s.lastDelivery {
+		s.lastDelivery = at
+	}
+	if s.cellsLeft[flow] == 0 {
+		s.completed++
+		s.deliveredB += int64(s.flows[flow].Bytes)
+		s.fct[flow] = at.Sub(s.flows[flow].Arrival)
+		if s.reorder != nil {
+			s.reorder[flow] = nil // flow done; free the buffer
+		}
+	}
+}

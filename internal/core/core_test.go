@@ -1,0 +1,753 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sirius/internal/phy"
+	"sirius/internal/rng"
+	"sirius/internal/schedule"
+	"sirius/internal/simtime"
+	"sirius/internal/workload"
+)
+
+func testConfig(t *testing.T, nodes, ports, mult int) Config {
+	t.Helper()
+	sched, err := schedule.NewGrouped(nodes, ports, mult)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		Schedule:      sched,
+		Slot:          phy.DefaultSlot(),
+		Q:             4,
+		Mode:          ModeRequestGrant,
+		NormalizeRate: simtime.Rate(sched.Uplinks()/mult) * 50 * simtime.Gbps,
+		Seed:          1,
+	}
+}
+
+func genFlows(t *testing.T, nodes, count int, load float64, seed uint64) []workload.Flow {
+	t.Helper()
+	cfg := workload.DefaultConfig(nodes, 400*simtime.Gbps, load, count)
+	cfg.Seed = seed
+	flows, err := workload.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return flows
+}
+
+func TestSingleFlowDelivers(t *testing.T) {
+	cfg := testConfig(t, 8, 4, 1)
+	flows := []workload.Flow{{ID: 0, Src: 1, Dst: 5, Bytes: 2000, Arrival: 0}}
+	res, err := Run(cfg, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 1 {
+		t.Fatalf("completed = %d, want 1", res.Completed)
+	}
+	if res.DeliveredBytes != 2000 {
+		t.Errorf("delivered bytes = %d, want 2000", res.DeliveredBytes)
+	}
+	if res.FCTAll.Count() != 1 {
+		t.Errorf("FCT count = %d", res.FCTAll.Count())
+	}
+	// The protocol costs a couple of epochs of startup: the FCT must be
+	// at least 2 epochs and at most a few dozen (8-node fabric, epoch =
+	// 4 slots x 100 ns).
+	fct := res.FCTAll.Max() // ms
+	if fct < 0.0008 || fct > 0.1 {
+		t.Errorf("FCT = %v ms, implausible for 2 KB on an idle fabric", fct)
+	}
+}
+
+func TestAllFlowsDeliverUniform(t *testing.T) {
+	cfg := testConfig(t, 16, 4, 1)
+	flows := genFlows(t, 16, 500, 0.5, 42)
+	res, err := Run(cfg, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != len(flows) {
+		t.Fatalf("completed %d of %d", res.Completed, len(flows))
+	}
+	if res.DeliveredBytes != workload.TotalBytes(flows) {
+		t.Errorf("delivered %d bytes, want %d", res.DeliveredBytes, workload.TotalBytes(flows))
+	}
+	if res.GoodputNorm <= 0 || res.GoodputNorm > 1.2 {
+		t.Errorf("normalized goodput = %v, implausible", res.GoodputNorm)
+	}
+}
+
+func TestIdealModeDelivers(t *testing.T) {
+	cfg := testConfig(t, 16, 4, 1)
+	cfg.Mode = ModeIdeal
+	flows := genFlows(t, 16, 500, 0.5, 42)
+	res, err := Run(cfg, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != len(flows) {
+		t.Fatalf("completed %d of %d", res.Completed, len(flows))
+	}
+}
+
+func TestIdealBeatsProtocolAtLowLoad(t *testing.T) {
+	// §7/Fig. 9a: at low load SIRIUS (IDEAL) has lower FCT than SIRIUS
+	// because flows skip the request/grant round trip (two epochs of
+	// startup latency). Single-cell flows on a lightly loaded fabric make
+	// the difference deterministic.
+	wcfg := workload.DefaultConfig(16, 200*simtime.Gbps, 0.05, 400)
+	wcfg.MeanFlowBytes = 400
+	wcfg.ParetoShape = 1.5
+	wcfg.Seed = 7
+	flows, err := workload.Generate(wcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig(t, 16, 4, 1)
+	real, err := Run(cfg, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Mode = ModeIdeal
+	ideal, err := Run(cfg, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp50 := real.FCTShort.Percentile(50)
+	ip50 := ideal.FCTShort.Percentile(50)
+	if ip50 >= rp50 {
+		t.Errorf("ideal p50 (%v ms) should beat protocol p50 (%v ms) at low load", ip50, rp50)
+	}
+	// The gap is roughly the two-epoch grant round trip (± a slot or two).
+	epochMS := 4 * 100e-9 * 1e3
+	if gap := rp50 - ip50; gap < epochMS || gap > 8*epochMS {
+		t.Errorf("startup gap = %v ms, want around 2 epochs (%v ms)", gap, 2*epochMS)
+	}
+}
+
+func TestQueueBoundRespected(t *testing.T) {
+	// The congestion controller panics internally if the Q bound is ever
+	// violated; additionally the peak aggregate node queue must be within
+	// Q * (n-1) cells.
+	cfg := testConfig(t, 16, 4, 1)
+	cfg.Q = 4
+	flows := genFlows(t, 16, 1500, 0.9, 3)
+	res, err := Run(cfg, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxCells := cfg.Q * 15
+	if res.PeakNodeQueueBytes > maxCells*cfg.Slot.CellBytes {
+		t.Errorf("peak node queue = %d bytes > bound %d", res.PeakNodeQueueBytes,
+			maxCells*cfg.Slot.CellBytes)
+	}
+}
+
+func TestHotspotThroughput(t *testing.T) {
+	// DRRM-style request/grant achieves full throughput on hot-spot
+	// traffic (§4.3): an incast of everyone to node 0 must drain at
+	// roughly the destination's full downlink bandwidth.
+	nodes := 16
+	cfg := testConfig(t, nodes, 4, 1)
+	wcfg := workload.DefaultConfig(nodes, 100*simtime.Gbps, 0.9, 300)
+	wcfg.Pattern = workload.Incast
+	wcfg.Seed = 5
+	flows, err := workload.Generate(wcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(cfg, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != len(flows) {
+		t.Fatalf("completed %d of %d", res.Completed, len(flows))
+	}
+	// Node 0 receives on 4 uplinks x 50 Gbps = 200 Gbps of cell capacity;
+	// goodput of the incast should be a large fraction of that.
+	bits := float64(res.DeliveredBytes) * 8
+	rate := bits / res.SimTime.Seconds()
+	if rate < 0.3*200e9 {
+		t.Errorf("incast drain rate = %.3g bps, want >= 30%% of 200G", rate)
+	}
+}
+
+func TestReorderTracking(t *testing.T) {
+	cfg := testConfig(t, 16, 4, 1)
+	cfg.TrackReorder = true
+	flows := genFlows(t, 16, 300, 0.7, 11)
+	res, err := Run(cfg, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Multi-cell flows through random intermediates must show some
+	// reordering, but bounded (small queues -> small reorder buffers).
+	if res.PeakReorderBytes == 0 {
+		t.Error("no reordering observed; VLB spreading should reorder cells")
+	}
+	if res.PeakReorderBytes > 1<<20 {
+		t.Errorf("peak reorder buffer = %d bytes, implausibly large", res.PeakReorderBytes)
+	}
+}
+
+func TestDirectFraction(t *testing.T) {
+	// Intermediates are chosen uniformly, so ~1/(n-1) of cells go direct.
+	cfg := testConfig(t, 16, 4, 1)
+	flows := genFlows(t, 16, 1000, 0.5, 9)
+	res, err := Run(cfg, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DirectFraction < 0.01 || res.DirectFraction > 0.25 {
+		t.Errorf("direct fraction = %v, want around 1/15", res.DirectFraction)
+	}
+}
+
+func TestRotorScheduleWorks(t *testing.T) {
+	sched, err := schedule.NewRotor(12, 5) // k = 5*12/gcd... E=12, k=5
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Schedule:      sched,
+		Slot:          phy.DefaultSlot(),
+		Q:             4,
+		Mode:          ModeRequestGrant,
+		NormalizeRate: 250 * simtime.Gbps,
+		Seed:          2,
+	}
+	flows := genFlows(t, 12, 400, 0.5, 13)
+	res, err := Run(cfg, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != len(flows) {
+		t.Fatalf("completed %d of %d", res.Completed, len(flows))
+	}
+}
+
+func TestLowLoadFCTNearMinimum(t *testing.T) {
+	// On an idle fabric a short flow completes within a handful of
+	// epochs: grant latency (2 epochs) + transmission + queuing.
+	cfg := testConfig(t, 16, 4, 1)
+	flows := []workload.Flow{{ID: 0, Src: 2, Dst: 9, Bytes: 500, Arrival: 0}}
+	res, err := Run(cfg, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	epochMS := (4 * 100e-9) * 1e3 // 4 slots x 100ns in ms
+	fct := res.FCTAll.Max()
+	if fct > 20*epochMS {
+		t.Errorf("single-cell FCT = %v ms, want within ~20 epochs (%v ms)", fct, 20*epochMS)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	sched, _ := schedule.NewGrouped(8, 4, 1)
+	good := Config{Schedule: sched, Slot: phy.DefaultSlot(), Q: 4,
+		NormalizeRate: simtime.Gbps, Seed: 1}
+	flows := []workload.Flow{{Src: 0, Dst: 1, Bytes: 100}}
+
+	bad := good
+	bad.Schedule = nil
+	if _, err := Run(bad, flows); err == nil {
+		t.Error("nil schedule accepted")
+	}
+	bad = good
+	bad.Slot.CellBytes = 10
+	if _, err := Run(bad, flows); err == nil {
+		t.Error("cell smaller than header accepted")
+	}
+	bad = good
+	bad.Q = 1
+	if _, err := Run(bad, flows); err == nil {
+		t.Error("Q=1 accepted")
+	}
+	bad = good
+	bad.NormalizeRate = 0
+	if _, err := Run(bad, flows); err == nil {
+		t.Error("zero normalize rate accepted")
+	}
+	if _, err := Run(good, []workload.Flow{{Src: 0, Dst: 0, Bytes: 1}}); err == nil {
+		t.Error("self flow accepted")
+	}
+	if _, err := Run(good, []workload.Flow{{Src: 0, Dst: 99, Bytes: 1}}); err == nil {
+		t.Error("out-of-range flow accepted")
+	}
+	bad = good
+	bad.MaxSlots = 2
+	if _, err := Run(bad, []workload.Flow{{Src: 0, Dst: 1, Bytes: 1 << 20}}); err == nil {
+		t.Error("slot cap not enforced")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := testConfig(t, 16, 4, 1)
+	flows := genFlows(t, 16, 300, 0.6, 21)
+	a, err := Run(cfg, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg, genFlows(t, 16, 300, 0.6, 21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.SimTime != b.SimTime || a.DeliveredBytes != b.DeliveredBytes ||
+		a.Slots != b.Slots || a.DirectFraction != b.DirectFraction {
+		t.Error("same seed produced different results")
+	}
+}
+
+func TestIdleGapSkipping(t *testing.T) {
+	// Two flows separated by a long idle gap: the simulator must not
+	// grind through millions of idle slots.
+	cfg := testConfig(t, 8, 4, 1)
+	flows := []workload.Flow{
+		{ID: 0, Src: 0, Dst: 3, Bytes: 100, Arrival: 0},
+		{ID: 1, Src: 1, Dst: 4, Bytes: 100, Arrival: simtime.Time(10 * simtime.Millisecond)},
+	}
+	res, err := Run(cfg, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 2 {
+		t.Fatalf("completed %d", res.Completed)
+	}
+	// 10 ms of 100 ns slots is 100,000 slots; with skipping the loop
+	// should execute only a tiny fraction.
+	if res.Slots > 110_000 {
+		t.Errorf("simulated %d slot iterations; idle skipping broken", res.Slots)
+	}
+	// FCT of the second flow must still be small (measured from its own
+	// arrival).
+	if res.FCTAll.Max() > 0.05 {
+		t.Errorf("FCT = %v ms; arrival-relative timing broken", res.FCTAll.Max())
+	}
+}
+
+func TestPropertyConservation(t *testing.T) {
+	// For random small workloads: every byte offered is delivered, on
+	// both modes, and the sim terminates.
+	f := func(seed uint64, modeRaw, loadRaw uint8) bool {
+		mode := Mode(modeRaw % 2)
+		load := 0.2 + float64(loadRaw%7)*0.1
+		wcfg := workload.DefaultConfig(8, 200*simtime.Gbps, load, 60)
+		wcfg.Seed = seed
+		wcfg.MeanFlowBytes = 20e3
+		flows, err := workload.Generate(wcfg)
+		if err != nil {
+			return false
+		}
+		sched, err := schedule.NewGrouped(8, 4, 1)
+		if err != nil {
+			return false
+		}
+		res, err := Run(Config{
+			Schedule:      sched,
+			Slot:          phy.DefaultSlot(),
+			Q:             3,
+			Mode:          mode,
+			NormalizeRate: 100 * simtime.Gbps,
+			Seed:          seed,
+		}, flows)
+		if err != nil {
+			return false
+		}
+		return res.Completed == len(flows) &&
+			res.DeliveredBytes == workload.TotalBytes(flows)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFifo(t *testing.T) {
+	var q fifo[int32]
+	if !q.empty() || q.len() != 0 {
+		t.Fatal("zero fifo not empty")
+	}
+	for i := int32(0); i < 1000; i++ {
+		q.push(i)
+	}
+	for i := int32(0); i < 500; i++ {
+		if got := q.pop(); got != i {
+			t.Fatalf("pop = %d, want %d", got, i)
+		}
+	}
+	// Interleave to exercise compaction.
+	for i := int32(1000); i < 2000; i++ {
+		q.push(i)
+	}
+	for i := int32(500); i < 2000; i++ {
+		if got := q.pop(); got != i {
+			t.Fatalf("pop = %d, want %d", got, i)
+		}
+	}
+	if !q.empty() {
+		t.Error("fifo not drained")
+	}
+}
+
+func TestFifoPropertyOrder(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		var q fifo[int64]
+		var pushed, popped int64
+		for op := 0; op < 2000; op++ {
+			if q.empty() || r.Float64() < 0.55 {
+				q.push(pushed)
+				pushed++
+			} else {
+				if q.pop() != popped {
+					return false
+				}
+				popped++
+			}
+		}
+		return q.len() == int(pushed-popped)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCellRefPacking(t *testing.T) {
+	f := func(flow int32, seq int32) bool {
+		gf, gs := unpackRef(cellRef(flow, seq))
+		return gf == flow && gs == seq
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPopEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("pop from empty fifo did not panic")
+		}
+	}()
+	var q fifo[int32]
+	q.pop()
+}
+
+func TestFailedNodesDetour(t *testing.T) {
+	// A failed node costs proportional bandwidth but traffic among
+	// survivors still flows.
+	cfg := testConfig(t, 16, 4, 1)
+	sched, err := schedule.NewDegraded(cfg.Schedule, []int{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Schedule = sched
+	cfg.FailedNodes = []int{5}
+	var flows []workload.Flow
+	id := 0
+	for src := 0; src < 16; src++ {
+		for dst := 0; dst < 16; dst++ {
+			if src == dst || src == 5 || dst == 5 {
+				continue
+			}
+			flows = append(flows, workload.Flow{ID: id, Src: src, Dst: dst, Bytes: 5000})
+			id++
+		}
+	}
+	res, err := Run(cfg, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != len(flows) {
+		t.Fatalf("completed %d of %d with a failed node", res.Completed, len(flows))
+	}
+}
+
+func TestFailedNodeFlowRejected(t *testing.T) {
+	cfg := testConfig(t, 16, 4, 1)
+	cfg.FailedNodes = []int{3}
+	if _, err := Run(cfg, []workload.Flow{{Src: 3, Dst: 1, Bytes: 10}}); err == nil {
+		t.Error("flow from failed node accepted")
+	}
+	if _, err := Run(cfg, []workload.Flow{{Src: 1, Dst: 3, Bytes: 10}}); err == nil {
+		t.Error("flow to failed node accepted")
+	}
+	cfg.FailedNodes = []int{99}
+	if _, err := Run(cfg, nil); err == nil {
+		t.Error("out-of-range failed node accepted")
+	}
+}
+
+func TestNoDirectAblation(t *testing.T) {
+	cfg := testConfig(t, 16, 4, 1)
+	cfg.NoDirect = true
+	flows := genFlows(t, 16, 400, 0.5, 17)
+	res, err := Run(cfg, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != len(flows) {
+		t.Fatalf("completed %d of %d", res.Completed, len(flows))
+	}
+	if res.DirectFraction != 0 {
+		t.Errorf("direct fraction = %v with NoDirect", res.DirectFraction)
+	}
+}
+
+func TestInstantControlAblation(t *testing.T) {
+	// Oracle control removes the two-epoch startup: a single-cell flow
+	// completes strictly faster.
+	cfg := testConfig(t, 16, 4, 1)
+	flows := []workload.Flow{{ID: 0, Src: 2, Dst: 9, Bytes: 500, Arrival: 0}}
+	slow, err := Run(cfg, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.InstantControl = true
+	fast, err := Run(cfg, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.FCTAll.Max() >= slow.FCTAll.Max() {
+		t.Errorf("instant control FCT %v not below piggybacked %v",
+			fast.FCTAll.Max(), slow.FCTAll.Max())
+	}
+}
+
+func TestIdealModeWithFailures(t *testing.T) {
+	cfg := testConfig(t, 16, 4, 1)
+	sched, err := schedule.NewDegraded(cfg.Schedule, []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Schedule = sched
+	cfg.FailedNodes = []int{2}
+	cfg.Mode = ModeIdeal
+	flows := []workload.Flow{{ID: 0, Src: 0, Dst: 1, Bytes: 100_000}}
+	res, err := Run(cfg, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 1 {
+		t.Fatal("flow incomplete with failed node in ideal mode")
+	}
+}
+
+func TestDirectModeUniformStillDelivers(t *testing.T) {
+	cfg := testConfig(t, 16, 4, 1)
+	cfg.Mode = ModeDirect
+	flows := genFlows(t, 16, 300, 0.3, 31)
+	res, err := Run(cfg, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != len(flows) {
+		t.Fatalf("completed %d of %d", res.Completed, len(flows))
+	}
+	if res.DirectFraction != 1 {
+		t.Errorf("direct fraction = %v, want 1 in direct mode", res.DirectFraction)
+	}
+}
+
+func TestVLBBeatsDirectOnSkewedTraffic(t *testing.T) {
+	// §4.1/§4.2: direct routing caps a pair at k/N of the node bandwidth;
+	// VLB spreads a single big transfer across all intermediates. One
+	// 2 MB flow finishes far faster with detouring.
+	flows := []workload.Flow{{ID: 0, Src: 0, Dst: 9, Bytes: 2 << 20, Arrival: 0}}
+	cfg := testConfig(t, 16, 4, 1)
+	vlb, err := Run(cfg, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Mode = ModeDirect
+	direct, err := Run(cfg, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := direct.FCTAll.Max() / vlb.FCTAll.Max()
+	// A 16-node fabric gives VLB up to ~15x more slots for one pair;
+	// protocol overheads eat some of it, but the win must be large.
+	if speedup < 4 {
+		t.Errorf("VLB speedup over direct = %.1fx, want >= 4x", speedup)
+	}
+}
+
+func TestElephantExceedsBaseBandwidth(t *testing.T) {
+	// With k=3 pair-connections per epoch (1.5x-style provisioning via a
+	// rotor), a single flow must sustain more than the baseline node
+	// bandwidth — the extra uplinks are usable by one destination.
+	sched, err := schedule.NewRotor(16, 6) // E=8, k=3
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Schedule:      sched,
+		Slot:          phy.DefaultSlot(),
+		Q:             4,
+		Mode:          ModeRequestGrant,
+		NormalizeRate: 200 * simtime.Gbps, // baseline = 4x50G
+		Seed:          5,
+	}
+	flows := []workload.Flow{{ID: 0, Src: 0, Dst: 9, Bytes: 4 << 20, Arrival: 0}}
+	res, err := Run(cfg, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate := float64(res.DeliveredBytes) * 8 / res.SimTime.Seconds()
+	if rate < 150e9 {
+		t.Errorf("elephant rate = %.3g bps, want a large fraction of 300G provisioned", rate)
+	}
+}
+
+func TestInjectRatePacesFlows(t *testing.T) {
+	// A 200-cell flow at 2 cells/slot takes at least 100 slots to even
+	// enter LOCAL, so its FCT is floored by the intra-rack tier.
+	cfg := testConfig(t, 16, 4, 1)
+	cfg.InjectRate = 2
+	bytes := 200 * 542
+	flows := []workload.Flow{{ID: 0, Src: 0, Dst: 9, Bytes: bytes}}
+	res, err := Run(cfg, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 1 {
+		t.Fatal("flow incomplete")
+	}
+	floorMS := 100 * 100e-9 * 1e3 // 100 slots of ~100ns
+	if got := res.FCTAll.Max(); got < floorMS {
+		t.Errorf("FCT %v ms below the injection floor %v ms", got, floorMS)
+	}
+	// Without pacing the same flow is much faster.
+	cfg.InjectRate = 0
+	fast, err := Run(cfg, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.FCTAll.Max() >= res.FCTAll.Max() {
+		t.Error("pacing did not slow the flow down")
+	}
+}
+
+func TestLocalCapBoundsOccupancy(t *testing.T) {
+	// With a LOCAL cap, occupancy never exceeds it even under a burst of
+	// many flows; everything still delivers (lossless back-pressure).
+	cfg := testConfig(t, 16, 4, 1)
+	cfg.InjectRate = 8
+	cfg.LocalCap = 32
+	flows := genFlows(t, 16, 600, 0.9, 77)
+	res, err := Run(cfg, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != len(flows) {
+		t.Fatalf("completed %d of %d", res.Completed, len(flows))
+	}
+	if res.DeliveredBytes != workload.TotalBytes(flows) {
+		t.Error("bytes lost under LOCAL cap")
+	}
+}
+
+func TestLocalCapNeedsInjectRate(t *testing.T) {
+	cfg := testConfig(t, 16, 4, 1)
+	cfg.LocalCap = 16
+	if _, err := Run(cfg, nil); err == nil {
+		t.Error("LocalCap without InjectRate accepted")
+	}
+	cfg.InjectRate = -1
+	if _, err := Run(cfg, nil); err == nil {
+		t.Error("negative InjectRate accepted")
+	}
+}
+
+func TestInjectRateFairAcrossFlows(t *testing.T) {
+	// Two flows from one node: round-robin injection means the small one
+	// is not stuck behind the big one (no FIFO HoL at the rack tier).
+	cfg := testConfig(t, 16, 4, 1)
+	cfg.InjectRate = 2
+	big := 500 * 542
+	small := 5 * 542
+	flows := []workload.Flow{
+		{ID: 0, Src: 0, Dst: 9, Bytes: big},
+		{ID: 1, Src: 0, Dst: 10, Bytes: small},
+	}
+	res, err := Run(cfg, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 2 {
+		t.Fatal("incomplete")
+	}
+	// The small flow (5 cells at >=1 cell/slot effective share) must
+	// finish far sooner than the big one.
+	if res.FCTAll.Min() > res.FCTAll.Max()/5 {
+		t.Errorf("small flow FCT %v too close to big flow FCT %v",
+			res.FCTAll.Min(), res.FCTAll.Max())
+	}
+}
+
+func TestSlowdownMetric(t *testing.T) {
+	cfg := testConfig(t, 16, 4, 1)
+	flows := genFlows(t, 16, 300, 0.4, 55)
+	res, err := Run(cfg, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Slowdown.Count() != len(flows) {
+		t.Fatalf("slowdown count = %d", res.Slowdown.Count())
+	}
+	// No flow can beat the ideal full-bandwidth transmission.
+	if res.Slowdown.Min() < 1 {
+		t.Errorf("min slowdown = %v < 1", res.Slowdown.Min())
+	}
+	// The median is within a sane factor at light load.
+	if res.Slowdown.Percentile(50) > 1000 {
+		t.Errorf("median slowdown = %v, implausible", res.Slowdown.Percentile(50))
+	}
+}
+
+func TestPermutationTrafficVLB(t *testing.T) {
+	// Permutation traffic — each node sends to exactly one other — is
+	// pathological for direct TDMA routing (each pair owns only k/N of
+	// the bandwidth) and exactly what VLB fixes. With VLB the fixed
+	// permutation drains near node bandwidth; direct-only crawls.
+	nodes := 16
+	wcfg := workload.DefaultConfig(nodes, 200*simtime.Gbps, 0.7, 400)
+	wcfg.Pattern = workload.Permutation
+	wcfg.Seed = 4
+	flows, err := workload.Generate(wcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig(t, nodes, 4, 1)
+	vlb, err := Run(cfg, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Mode = ModeDirect
+	direct, err := Run(cfg, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vlb.GoodputNorm < 3*direct.GoodputNorm {
+		t.Errorf("VLB goodput %v should be >= 3x direct-only %v on permutation traffic",
+			vlb.GoodputNorm, direct.GoodputNorm)
+	}
+}
+
+func TestIdealModeWithInjectRate(t *testing.T) {
+	// The intra-rack pacing composes with the ideal back-pressure mode.
+	cfg := testConfig(t, 16, 4, 1)
+	cfg.Mode = ModeIdeal
+	cfg.InjectRate = 4
+	cfg.LocalCap = 64
+	flows := genFlows(t, 16, 300, 0.6, 23)
+	res, err := Run(cfg, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != len(flows) {
+		t.Fatalf("completed %d of %d", res.Completed, len(flows))
+	}
+}

@@ -1,0 +1,45 @@
+package core
+
+// fifo is a growable FIFO with amortized O(1) push/pop and lazy head
+// compaction. The zero value is an empty queue. Element types are the two
+// the simulator uses: int32 for flow/destination ids and int64 for packed
+// (flow, seq) cell references.
+type fifo[T int32 | int64] struct {
+	items []T
+	head  int
+}
+
+func (q *fifo[T]) push(v T) {
+	// Reclaim the dead prefix when it dominates the backing array.
+	if q.head > 64 && q.head*2 > len(q.items) {
+		n := copy(q.items, q.items[q.head:])
+		q.items = q.items[:n]
+		q.head = 0
+	}
+	q.items = append(q.items, v)
+}
+
+func (q *fifo[T]) pop() T {
+	if q.head >= len(q.items) {
+		panic("core: pop from empty fifo")
+	}
+	v := q.items[q.head]
+	q.head++
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
+	return v
+}
+
+func (q *fifo[T]) len() int { return len(q.items) - q.head }
+
+func (q *fifo[T]) empty() bool { return q.head >= len(q.items) }
+
+// cellRef packs a flow id and an intra-flow sequence number into one
+// queue entry.
+func cellRef(flow int32, seq int32) int64 { return int64(flow)<<32 | int64(uint32(seq)) }
+
+func unpackRef(ref int64) (flow int32, seq int32) {
+	return int32(ref >> 32), int32(uint32(ref))
+}

@@ -1,0 +1,136 @@
+// Package eventq implements the event queue used by the event-driven parts
+// of the simulator (the Clos packet-level model and the fluid ESN model).
+//
+// It is a plain binary min-heap ordered by time, with a sequence number to
+// break ties deterministically in insertion order.
+package eventq
+
+import "sirius/internal/simtime"
+
+// Event is a scheduled callback.
+type Event struct {
+	At  simtime.Time
+	Fn  func()
+	seq uint64
+	idx int // heap index; -1 when not queued
+}
+
+// Queue is a time-ordered event queue. The zero value is ready to use.
+type Queue struct {
+	h   []*Event
+	seq uint64
+}
+
+// Len returns the number of pending events.
+func (q *Queue) Len() int { return len(q.h) }
+
+// Schedule enqueues fn to run at time at and returns the event handle,
+// which can be passed to Cancel.
+func (q *Queue) Schedule(at simtime.Time, fn func()) *Event {
+	e := &Event{At: at, Fn: fn, seq: q.seq}
+	q.seq++
+	e.idx = len(q.h)
+	q.h = append(q.h, e)
+	q.up(e.idx)
+	return e
+}
+
+// Cancel removes a pending event. Cancelling an already-popped or
+// already-cancelled event is a no-op.
+func (q *Queue) Cancel(e *Event) {
+	if e == nil || e.idx < 0 || e.idx >= len(q.h) || q.h[e.idx] != e {
+		return
+	}
+	i := e.idx
+	last := len(q.h) - 1
+	q.swap(i, last)
+	q.h = q.h[:last]
+	e.idx = -1
+	if i < last {
+		q.down(i)
+		q.up(i)
+	}
+}
+
+// PeekTime returns the time of the earliest event. ok is false when empty.
+func (q *Queue) PeekTime() (t simtime.Time, ok bool) {
+	if len(q.h) == 0 {
+		return 0, false
+	}
+	return q.h[0].At, true
+}
+
+// Pop removes and returns the earliest event. It returns nil when empty.
+func (q *Queue) Pop() *Event {
+	if len(q.h) == 0 {
+		return nil
+	}
+	e := q.h[0]
+	last := len(q.h) - 1
+	q.swap(0, last)
+	q.h = q.h[:last]
+	e.idx = -1
+	if last > 0 {
+		q.down(0)
+	}
+	return e
+}
+
+// RunUntil pops and runs events until the queue is empty or the next event
+// is after deadline. It returns the time of the last event run.
+func (q *Queue) RunUntil(deadline simtime.Time) simtime.Time {
+	var last simtime.Time
+	for {
+		t, ok := q.PeekTime()
+		if !ok || t > deadline {
+			return last
+		}
+		e := q.Pop()
+		last = e.At
+		e.Fn()
+	}
+}
+
+func (q *Queue) less(i, j int) bool {
+	a, b := q.h[i], q.h[j]
+	if a.At != b.At {
+		return a.At < b.At
+	}
+	return a.seq < b.seq
+}
+
+func (q *Queue) swap(i, j int) {
+	q.h[i], q.h[j] = q.h[j], q.h[i]
+	q.h[i].idx = i
+	q.h[j].idx = j
+}
+
+func (q *Queue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			return
+		}
+		q.swap(i, parent)
+		i = parent
+	}
+}
+
+func (q *Queue) down(i int) {
+	n := len(q.h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && q.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && q.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		q.swap(i, smallest)
+		i = smallest
+	}
+}

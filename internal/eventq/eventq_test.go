@@ -1,0 +1,176 @@
+package eventq
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sirius/internal/rng"
+	"sirius/internal/simtime"
+)
+
+func TestOrdering(t *testing.T) {
+	var q Queue
+	var got []int
+	q.Schedule(30, func() { got = append(got, 3) })
+	q.Schedule(10, func() { got = append(got, 1) })
+	q.Schedule(20, func() { got = append(got, 2) })
+	q.RunUntil(100)
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("run order = %v, want [1 2 3]", got)
+	}
+}
+
+func TestTieBreakFIFO(t *testing.T) {
+	var q Queue
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		q.Schedule(5, func() { got = append(got, i) })
+	}
+	q.RunUntil(5)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events ran out of insertion order: %v", got)
+		}
+	}
+}
+
+func TestRunUntilDeadline(t *testing.T) {
+	var q Queue
+	ran := 0
+	q.Schedule(10, func() { ran++ })
+	q.Schedule(20, func() { ran++ })
+	q.Schedule(30, func() { ran++ })
+	last := q.RunUntil(20)
+	if ran != 2 {
+		t.Errorf("ran %d events, want 2", ran)
+	}
+	if last != 20 {
+		t.Errorf("last = %v, want 20", last)
+	}
+	if q.Len() != 1 {
+		t.Errorf("Len = %d, want 1", q.Len())
+	}
+}
+
+func TestCancel(t *testing.T) {
+	var q Queue
+	ran := false
+	e := q.Schedule(10, func() { ran = true })
+	q.Cancel(e)
+	q.RunUntil(100)
+	if ran {
+		t.Error("cancelled event ran")
+	}
+	// Double cancel is a no-op.
+	q.Cancel(e)
+	// Cancel nil is a no-op.
+	q.Cancel(nil)
+}
+
+func TestCancelMiddle(t *testing.T) {
+	var q Queue
+	var got []int
+	q.Schedule(1, func() { got = append(got, 1) })
+	e := q.Schedule(2, func() { got = append(got, 2) })
+	q.Schedule(3, func() { got = append(got, 3) })
+	q.Schedule(4, func() { got = append(got, 4) })
+	q.Cancel(e)
+	q.RunUntil(100)
+	want := []int{1, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestPopEmpty(t *testing.T) {
+	var q Queue
+	if q.Pop() != nil {
+		t.Error("Pop on empty queue returned non-nil")
+	}
+	if _, ok := q.PeekTime(); ok {
+		t.Error("PeekTime on empty queue returned ok")
+	}
+}
+
+func TestScheduleDuringRun(t *testing.T) {
+	var q Queue
+	var got []int
+	q.Schedule(10, func() {
+		got = append(got, 1)
+		q.Schedule(15, func() { got = append(got, 2) })
+	})
+	q.RunUntil(20)
+	if len(got) != 2 || got[1] != 2 {
+		t.Errorf("nested schedule: got %v", got)
+	}
+}
+
+func TestPropertyHeapOrder(t *testing.T) {
+	// Any random insertion sequence pops in non-decreasing time order.
+	f := func(seed uint64, n uint8) bool {
+		r := rng.New(seed)
+		var q Queue
+		count := int(n%200) + 1
+		for i := 0; i < count; i++ {
+			q.Schedule(simtime.Time(r.Intn(1000)), func() {})
+		}
+		prev := simtime.Time(-1)
+		for q.Len() > 0 {
+			e := q.Pop()
+			if e.At < prev {
+				return false
+			}
+			prev = e.At
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyCancelConsistency(t *testing.T) {
+	// Randomly cancel half the events; exactly the survivors run, in order.
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		var q Queue
+		type rec struct {
+			e  *Event
+			at simtime.Time
+		}
+		var recs []rec
+		ran := make(map[int]bool)
+		for i := 0; i < 100; i++ {
+			i := i
+			at := simtime.Time(r.Intn(500))
+			e := q.Schedule(at, func() { ran[i] = true })
+			recs = append(recs, rec{e, at})
+		}
+		cancelled := make(map[int]bool)
+		for i := range recs {
+			if r.Float64() < 0.5 {
+				q.Cancel(recs[i].e)
+				cancelled[i] = true
+			}
+		}
+		q.RunUntil(1000)
+		for i := range recs {
+			if cancelled[i] && ran[i] {
+				return false
+			}
+			if !cancelled[i] && !ran[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

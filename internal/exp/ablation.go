@@ -1,0 +1,39 @@
+package exp
+
+import (
+	"sirius/internal/core"
+)
+
+// Ablation prices the design choices of DESIGN.md §5 on one workload:
+// the request/grant protocol against its oracle variants, the direct-path
+// shortcut, and routing disciplines.
+func Ablation(s Scale, load float64) (*Table, error) {
+	t := &Table{
+		Title: "ablations: pricing the design choices",
+		Note: "each row changes exactly one thing relative to SIRIUS " +
+			"(request/grant, piggybacked control, direct path allowed, VLB)",
+		Header: []string{"variant", "goodput", "short_p99_fct_ms", "direct_frac"},
+	}
+	flows, err := s.flows(load, 100e3, s.Seed)
+	if err != nil {
+		return nil, err
+	}
+	variants := []struct {
+		name   string
+		mutate func(*siriusOpts, *core.Config)
+	}{
+		{"SIRIUS (baseline)", func(o *siriusOpts, c *core.Config) {}},
+		{"no direct path", func(o *siriusOpts, c *core.Config) { c.NoDirect = true }},
+		{"instant control plane", func(o *siriusOpts, c *core.Config) { c.InstantControl = true }},
+		{"oracle back-pressure", func(o *siriusOpts, c *core.Config) { c.Mode = core.ModeIdeal }},
+		{"direct-only (no VLB)", func(o *siriusOpts, c *core.Config) { c.Mode = core.ModeDirect }},
+	}
+	for _, v := range variants {
+		res, err := s.runSiriusMutated(flows, v.mutate)
+		if err != nil {
+			return nil, err
+		}
+		t.Add(v.name, res.GoodputNorm, fmtMS(p99OrNaN(&res.FCTShort)), res.DirectFraction)
+	}
+	return t, nil
+}

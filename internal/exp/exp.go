@@ -1,0 +1,135 @@
+// Package exp is the experiment harness: one entry point per table and
+// figure of the paper's evaluation, each returning a printable table with
+// the same rows/series the paper reports. cmd/siriussim exposes them on
+// the command line and the repository's benchmarks regenerate them.
+package exp
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a printable experiment result.
+type Table struct {
+	Title  string
+	Note   string
+	Header []string
+	Rows   [][]string
+}
+
+// Add appends a row, formatting each cell with %v.
+func (t *Table) Add(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Fprint renders the table.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "# %s\n", t.Title)
+	if t.Note != "" {
+		fmt.Fprintf(w, "# %s\n", t.Note)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Header)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	fmt.Fprintln(w)
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Fprint(&b)
+	return b.String()
+}
+
+// CSV writes the table as CSV (header row first; title and note as
+// leading comment lines).
+func (t *Table) CSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# %s\n", t.Title); err != nil {
+		return err
+	}
+	if t.Note != "" {
+		if _, err := fmt.Fprintf(w, "# %s\n", t.Note); err != nil {
+			return err
+		}
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Header); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// JSON writes the table as a JSON object with title, note, header and
+// rows.
+func (t *Table) JSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Title  string     `json:"title"`
+		Note   string     `json:"note,omitempty"`
+		Header []string   `json:"header"`
+		Rows   [][]string `json:"rows"`
+	}{t.Title, t.Note, t.Header, t.Rows})
+}
+
+// Scale selects the size of the network-simulation experiments.
+type Scale struct {
+	Racks        int
+	GratingPorts int
+	Flows        int
+	Seed         uint64
+}
+
+// SmallScale fits in seconds on a laptop while preserving the paper's
+// ratios (8 base uplinks per rack, 100 KB mean flows).
+func SmallScale() Scale {
+	return Scale{Racks: 64, GratingPorts: 8, Flows: 4000, Seed: 1}
+}
+
+// TinyScale is for tests.
+func TinyScale() Scale {
+	return Scale{Racks: 16, GratingPorts: 4, Flows: 400, Seed: 1}
+}
+
+// PaperScale is the §7 setup: 128 racks, 16-port gratings (8 base
+// uplinks), ~200k flows.
+func PaperScale() Scale {
+	return Scale{Racks: 128, GratingPorts: 16, Flows: 200_000, Seed: 1}
+}

@@ -1,0 +1,40 @@
+package exp
+
+import (
+	"fmt"
+
+	"sirius/internal/laser"
+	"sirius/internal/simtime"
+)
+
+// LaserDesigns summarizes the §3.3 disaggregated-laser design space: how
+// each instantiation trades component count and power against tuning
+// latency and channel scalability.
+func LaserDesigns() *Table {
+	t := &Table{
+		Title: "§3.3: disaggregated tunable laser designs",
+		Note: "the paper fabricates the fixed bank (Fig. 3d); the tunable " +
+			"bank needs schedule lookahead; combs trade power for scalability",
+		Header: []string{"design", "channels", "light_sources", "worst_tune",
+			"needs_lookahead", "relative_power"},
+	}
+	damped := laser.NewDampedDSDBR()
+	sDamped := laser.MeasurePairs(damped)
+	t.Add("damped DSDBR (monolithic)", damped.Channels(), 1,
+		sDamped.Worst.String(), "no", "1.0")
+
+	fixed := laser.NewFixedBank(19, 1)
+	t.Add("fixed laser bank + SOA", fixed.Channels(), fixed.Channels(),
+		fixed.WorstCase().String(), "no",
+		fmt.Sprintf("%.1f", 0.3*float64(fixed.Channels())+1)) // one DFB per channel + SOA
+
+	bank := laser.NewTunableBank(2)
+	worst := bank.TuneTimeWithLookahead(0, 111, 100*simtime.Nanosecond)
+	t.Add("tunable bank (2+1 spare)", bank.Channels(), bank.Size,
+		worst.String(), "yes", fmt.Sprintf("%.1f", float64(bank.Size)*1.2))
+
+	comb := laser.NewComb(100, 3)
+	t.Add("comb + SOA", comb.Channels(), 1,
+		comb.WorstCase().String(), "no", "8.0") // today's combs are power-hungry
+	return t
+}

@@ -1,0 +1,295 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+
+	"sirius/internal/core"
+	"sirius/internal/fluid"
+	"sirius/internal/phy"
+	"sirius/internal/schedule"
+	"sirius/internal/simtime"
+	"sirius/internal/workload"
+)
+
+// nodeRate is the baseline per-rack bandwidth of a scale (8 base uplinks
+// at 50 Gb/s in the default scales).
+func (s Scale) nodeRate() simtime.Rate {
+	return simtime.Rate(s.Racks/s.GratingPorts) * 50 * simtime.Gbps
+}
+
+// flows generates the §7 workload at the given load.
+func (s Scale) flows(load, meanBytes float64, seed uint64) ([]workload.Flow, error) {
+	cfg := workload.DefaultConfig(s.Racks, s.nodeRate(), load, s.Flows)
+	cfg.MeanFlowBytes = meanBytes
+	cfg.Seed = seed
+	return workload.Generate(cfg)
+}
+
+// siriusOpts collects the knobs the sweeps vary.
+type siriusOpts struct {
+	mult         float64 // uplink multiplier
+	mode         core.Mode
+	q            int
+	slot         phy.Slot
+	trackReorder bool
+}
+
+func defaultOpts() siriusOpts {
+	return siriusOpts{mult: 1.5, mode: core.ModeRequestGrant, q: 4, slot: phy.DefaultSlot()}
+}
+
+// runSirius runs the slot-level simulator at this scale.
+func (s Scale) runSirius(flows []workload.Flow, o siriusOpts) (*core.Results, error) {
+	return s.runSiriusMutated(flows, func(opts *siriusOpts, c *core.Config) { *opts = o })
+}
+
+// runSiriusMutated builds the default configuration, lets the caller
+// tweak it (both the high-level options and the raw core config), and
+// runs the simulator.
+func (s Scale) runSiriusMutated(flows []workload.Flow, mutate func(*siriusOpts, *core.Config)) (*core.Results, error) {
+	o := defaultOpts()
+	cfg := core.Config{
+		NormalizeRate: s.nodeRate(),
+		Seed:          s.Seed,
+	}
+	mutate(&o, &cfg)
+	groups := s.Racks / s.GratingPorts
+	uplinks := int(math.Round(float64(groups) * o.mult))
+	var sched schedule.Schedule
+	var err error
+	if uplinks%groups == 0 {
+		sched, err = schedule.NewGrouped(s.Racks, s.GratingPorts, uplinks/groups)
+	} else {
+		sched, err = schedule.NewRotor(s.Racks, uplinks)
+	}
+	if err != nil {
+		return nil, err
+	}
+	cfg.Schedule = sched
+	cfg.Slot = o.slot
+	cfg.Q = o.q
+	if cfg.Mode == core.ModeRequestGrant {
+		cfg.Mode = o.mode
+	}
+	cfg.TrackReorder = cfg.TrackReorder || o.trackReorder
+	return core.Run(cfg, flows)
+}
+
+// runESN runs the idealized electrically-switched baseline. The fluid
+// model itself has no latency floor, so it is charged a base RTT for the
+// Clos path (multiple store-and-forward switch hops plus propagation),
+// comparable to the paper's ESN (Ideal) FCT floor of ~1 us.
+func (s Scale) runESN(flows []workload.Flow, oversub int) (*fluid.Results, error) {
+	cfg := fluid.Config{
+		Endpoints:    s.Racks,
+		EndpointRate: s.nodeRate(),
+		Oversub:      oversub,
+		BaseRTT:      simtime.Microsecond,
+	}
+	if oversub > 1 {
+		cfg.EndpointsPerRack = s.GratingPorts // aggregation pods
+	}
+	return fluid.Run(cfg, flows)
+}
+
+func fmtMS(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return fmt.Sprintf("%.4g", v)
+}
+
+// Fig9 reproduces the load sweep: 99th-percentile short-flow FCT and
+// normalized goodput for SIRIUS, SIRIUS (IDEAL), ESN (Ideal) and
+// ESN-OSUB (Ideal).
+func Fig9(s Scale, loads []float64) (*Table, error) {
+	t := &Table{
+		Title: "Fig 9: short-flow p99 FCT (ms) and normalized goodput vs load",
+		Note: "paper shape: Sirius ~= ESN (Ideal); ESN-OSUB much worse; " +
+			"Sirius (Ideal) slightly faster at low load",
+		Header: []string{"load",
+			"sirius_fct", "siriusIdeal_fct", "esn_fct", "osub_fct",
+			"sirius_gput", "siriusIdeal_gput", "esn_gput", "osub_gput"},
+	}
+	for _, load := range loads {
+		flows, err := s.flows(load, 100e3, s.Seed)
+		if err != nil {
+			return nil, err
+		}
+		sir, err := s.runSirius(flows, defaultOpts())
+		if err != nil {
+			return nil, err
+		}
+		io := defaultOpts()
+		io.mode = core.ModeIdeal
+		ideal, err := s.runSirius(flows, io)
+		if err != nil {
+			return nil, err
+		}
+		esn, err := s.runESN(flows, 1)
+		if err != nil {
+			return nil, err
+		}
+		osub, err := s.runESN(flows, 3)
+		if err != nil {
+			return nil, err
+		}
+		t.Add(load,
+			fmtMS(sir.FCTShort.Percentile(99)), fmtMS(ideal.FCTShort.Percentile(99)),
+			fmtMS(esn.FCTShort.Percentile(99)), fmtMS(osub.FCTShort.Percentile(99)),
+			sir.GoodputNorm, ideal.GoodputNorm, esn.GoodputNorm, osub.GoodputNorm)
+	}
+	return t, nil
+}
+
+// Fig10 reproduces the queue-bound sweep: FCT, goodput, peak aggregate
+// queue occupancy and peak reorder buffer for Q in {2,4,8,16}.
+func Fig10(s Scale, qs []int, loads []float64) (*Table, error) {
+	t := &Table{
+		Title: "Fig 10: effect of the queue bound Q",
+		Note: "paper: Q=4 best FCT/goodput trade-off; peak aggregate queue " +
+			"78.2 KB worst case; reorder buffer ~163 KB",
+		Header: []string{"Q", "load", "short_p99_fct_ms", "goodput",
+			"peak_node_queue_KB", "peak_reorder_KB"},
+	}
+	for _, q := range qs {
+		for _, load := range loads {
+			flows, err := s.flows(load, 100e3, s.Seed)
+			if err != nil {
+				return nil, err
+			}
+			o := defaultOpts()
+			o.q = q
+			o.trackReorder = true
+			res, err := s.runSirius(flows, o)
+			if err != nil {
+				return nil, err
+			}
+			t.Add(q, load,
+				fmtMS(res.FCTShort.Percentile(99)), res.GoodputNorm,
+				float64(res.PeakNodeQueueBytes)/1024,
+				float64(res.PeakReorderBytes)/1024)
+		}
+	}
+	return t, nil
+}
+
+// Fig11 reproduces the guardband sweep at full load: as the guardband
+// grows (with the slot scaled so it stays 10% of it), the epoch grows and
+// queuing latency with it.
+func Fig11(s Scale, guardsNS []float64) (*Table, error) {
+	t := &Table{
+		Title: "Fig 11: short-flow p99 FCT vs guardband (10% of slot), high load",
+		Note:  "paper: FCT grows sharply beyond ~10 ns; motivates fast tuning + CDR",
+		Header: []string{"guardband_ns", "cell_B", "slot_ns",
+			"sirius_fct_ms", "siriusIdeal_fct_ms", "esn_fct_ms"},
+	}
+	// The paper runs this at nominal L = 100% without rescaling arrival
+	// times to the realized Pareto sample mean, which corresponds to a
+	// realized offered load around 0.6; since our generator rescales to
+	// the exact offered load, we sweep at 0.6 to match the operating
+	// point (at a rescaled 1.0 the smallest cells saturate the fabric
+	// through header overhead and invert the curve).
+	load := 0.6
+	flows, err := s.flows(load, 100e3, s.Seed)
+	if err != nil {
+		return nil, err
+	}
+	esn, err := s.runESN(flows, 1)
+	if err != nil {
+		return nil, err
+	}
+	for _, g := range guardsNS {
+		slot := phy.SlotForGuardband(50*simtime.Gbps,
+			simtime.Duration(g*float64(simtime.Nanosecond)), 0.10)
+		o := defaultOpts()
+		o.slot = slot
+		sir, err := s.runSirius(flows, o)
+		if err != nil {
+			return nil, err
+		}
+		o.mode = core.ModeIdeal
+		ideal, err := s.runSirius(flows, o)
+		if err != nil {
+			return nil, err
+		}
+		t.Add(g, slot.CellBytes, slot.Duration().Nanoseconds(),
+			fmtMS(sir.FCTShort.Percentile(99)),
+			fmtMS(ideal.FCTShort.Percentile(99)),
+			fmtMS(esn.FCTShort.Percentile(99)))
+	}
+	return t, nil
+}
+
+// Fig12 reproduces the uplink-provisioning sweep: goodput for 1x, 1.5x
+// and 2x uplinks against the ESN.
+func Fig12(s Scale, mults, loads []float64) (*Table, error) {
+	t := &Table{
+		Title: "Fig 12: normalized goodput vs load for 1x/1.5x/2x uplinks",
+		Note:  "paper: 1.5x suffices to match ESN (Ideal); 1x loses ~20% at full load",
+		Header: func() []string {
+			h := []string{"load", "esn_gput"}
+			for _, m := range mults {
+				h = append(h, fmt.Sprintf("sirius_%gx", m))
+			}
+			return h
+		}(),
+	}
+	for _, load := range loads {
+		flows, err := s.flows(load, 100e3, s.Seed)
+		if err != nil {
+			return nil, err
+		}
+		esn, err := s.runESN(flows, 1)
+		if err != nil {
+			return nil, err
+		}
+		row := []interface{}{load, esn.GoodputNorm}
+		for _, m := range mults {
+			o := defaultOpts()
+			o.mult = m
+			res, err := s.runSirius(flows, o)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, res.GoodputNorm)
+		}
+		t.Add(row...)
+	}
+	return t, nil
+}
+
+// Fig13 reproduces the flow-size sweep: fixed-size cells hurt when the
+// average flow is much smaller than a cell, and the gap closes as flows
+// grow.
+func Fig13(s Scale, meanBytes []float64, load float64) (*Table, error) {
+	t := &Table{
+		Title: "Fig 13: FCT and goodput vs average flow size",
+		Note: "paper: at 512 B mean, cells cost ~2.3x FCT and ~1.7x goodput " +
+			"vs ESN; by 16 KB the gap is ~1.2x/1.05x",
+		Header: []string{"mean_flow", "sirius_fct_ms", "esn_fct_ms", "fct_ratio",
+			"sirius_gput", "esn_gput", "gput_ratio"},
+	}
+	for _, mb := range meanBytes {
+		flows, err := s.flows(load, mb, s.Seed+uint64(mb))
+		if err != nil {
+			return nil, err
+		}
+		sir, err := s.runSirius(flows, defaultOpts())
+		if err != nil {
+			return nil, err
+		}
+		esn, err := s.runESN(flows, 1)
+		if err != nil {
+			return nil, err
+		}
+		// Small-mean workloads have arrival windows comparable to the
+		// fabric's base latency, so goodput is measured over the makespan.
+		sp, ep := sir.FCTShort.Percentile(99), esn.FCTShort.Percentile(99)
+		t.Add(fmt.Sprintf("%.0fB", mb), fmtMS(sp), fmtMS(ep), sp/ep,
+			sir.MakespanGoodput, esn.MakespanGoodput,
+			esn.MakespanGoodput/sir.MakespanGoodput)
+	}
+	return t, nil
+}

@@ -1,0 +1,312 @@
+// Package fluid computes the paper's idealized electrically-switched
+// baselines, ESN (Ideal) and ESN-OSUB (Ideal) (§7).
+//
+// The paper defines these baselines as upper bounds: per-flow queues and
+// back-pressure at every switch with packet spraying across all paths of a
+// folded Clos — "an upper bound on the performance achievable by any rate
+// control and routing protocol". The steady state of that idealization is
+// exactly max-min fair bandwidth allocation subject to the fabric's
+// capacity constraints: each endpoint's NIC in both directions and, for
+// the oversubscribed variant, each rack's aggregation capacity. This
+// package computes that allocation with progressive filling, re-evaluated
+// at every flow arrival and completion, and integrates flow progress
+// exactly between events.
+package fluid
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"sirius/internal/metrics"
+	"sirius/internal/simtime"
+	"sirius/internal/workload"
+)
+
+// Config parameterizes the fabric.
+type Config struct {
+	// Endpoints is the number of attached endpoints (servers, or racks
+	// when comparing at rack granularity).
+	Endpoints int
+	// EndpointRate is each endpoint's NIC rate in both directions.
+	EndpointRate simtime.Rate
+	// EndpointsPerRack groups endpoints into racks for the oversubscribed
+	// variant; 0 or 1 disables the rack tier.
+	EndpointsPerRack int
+	// Oversub is the aggregation-tier oversubscription ratio: inter-rack
+	// capacity per rack is EndpointsPerRack*EndpointRate/Oversub.
+	// 1 = non-blocking (ESN Ideal).
+	Oversub int
+	// BaseRTT is added to every flow completion time (propagation and
+	// switching latency floor).
+	BaseRTT simtime.Duration
+}
+
+// Results mirrors the core simulator's results for comparison.
+type Results struct {
+	Flows            int
+	Completed        int
+	SimTime          simtime.Time
+	DeliveredBytes   int64
+	GoodputNorm      float64 // over the arrival window (see core.Results)
+	MakespanGoodput  float64 // over the full makespan
+	FCTAll, FCTShort metrics.Sample
+}
+
+type flowState struct {
+	src, dst  int
+	remaining float64 // bits
+	rate      float64 // bits/s
+	bytes     int
+	arrival   simtime.Time
+}
+
+// Run simulates the flows to completion.
+func Run(cfg Config, flows []workload.Flow) (*Results, error) {
+	switch {
+	case cfg.Endpoints < 2:
+		return nil, fmt.Errorf("fluid: need >= 2 endpoints")
+	case cfg.EndpointRate <= 0:
+		return nil, fmt.Errorf("fluid: non-positive endpoint rate")
+	case cfg.Oversub < 1:
+		return nil, fmt.Errorf("fluid: oversub must be >= 1")
+	case cfg.Oversub > 1 && cfg.EndpointsPerRack < 1:
+		return nil, fmt.Errorf("fluid: oversubscription needs a rack grouping")
+	case cfg.EndpointsPerRack > 0 && cfg.Endpoints%cfg.EndpointsPerRack != 0:
+		return nil, fmt.Errorf("fluid: endpoints must divide into racks")
+	}
+	for i, f := range flows {
+		if f.Src < 0 || f.Src >= cfg.Endpoints || f.Dst < 0 || f.Dst >= cfg.Endpoints ||
+			f.Src == f.Dst || f.Bytes < 1 {
+			return nil, fmt.Errorf("fluid: invalid flow %+v", f)
+		}
+		if f.ID != i {
+			return nil, fmt.Errorf("fluid: flow IDs must equal their index (flow %d has ID %d)", i, f.ID)
+		}
+	}
+	// Sort by arrival (workload.Generate already does; be safe).
+	ordered := make([]workload.Flow, len(flows))
+	copy(ordered, flows)
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].Arrival < ordered[j].Arrival })
+
+	s := &solver{cfg: cfg}
+	s.init()
+
+	res := &Results{Flows: len(flows)}
+	active := make(map[int]*flowState)
+	now := 0.0 // seconds
+	next := 0
+	var deliveredB int64
+	// Goodput window: bits delivered by the time of the last arrival
+	// (see the core simulator's GoodputNorm for the rationale).
+	windowEnd := ordered[len(ordered)-1].Arrival.Seconds()
+	var windowBits float64
+	integrate := func(dt float64) {
+		if dt <= 0 {
+			return
+		}
+		overlap := dt
+		if now+dt > windowEnd {
+			overlap = windowEnd - now
+		}
+		for _, f := range active {
+			f.remaining -= f.rate * dt
+			if f.remaining < 0 {
+				f.remaining = 0
+			}
+			if overlap > 0 {
+				windowBits += f.rate * overlap
+			}
+		}
+	}
+
+	for len(active) > 0 || next < len(ordered) {
+		// Next arrival time, if any.
+		arrival := math.Inf(1)
+		if next < len(ordered) {
+			arrival = ordered[next].Arrival.Seconds()
+		}
+		// Next completion time under current rates.
+		completion := math.Inf(1)
+		var doneID int
+		for id, f := range active {
+			if f.rate <= 0 {
+				continue
+			}
+			t := now + f.remaining/f.rate
+			if t < completion {
+				completion, doneID = t, id
+			}
+		}
+		if math.IsInf(arrival, 1) && math.IsInf(completion, 1) {
+			return nil, fmt.Errorf("fluid: stalled with %d active flows", len(active))
+		}
+
+		if arrival <= completion {
+			// Advance to the arrival.
+			integrate(arrival - now)
+			now = arrival
+			fl := ordered[next]
+			next++
+			active[fl.ID] = &flowState{
+				src: fl.Src, dst: fl.Dst,
+				remaining: float64(fl.Bytes) * 8,
+				bytes:     fl.Bytes,
+				arrival:   fl.Arrival,
+			}
+		} else {
+			integrate(completion - now)
+			now = completion
+			f := active[doneID]
+			delete(active, doneID)
+			res.Completed++
+			deliveredB += int64(f.bytes)
+			fct := simtime.Duration((now-f.arrival.Seconds())*float64(simtime.Second)) + cfg.BaseRTT
+			ms := fct.Seconds() * 1e3
+			res.FCTAll.Add(ms)
+			if f.bytes < 100_000 {
+				res.FCTShort.Add(ms)
+			}
+			if t := simtime.Time(now * float64(simtime.Second)); t > res.SimTime {
+				res.SimTime = t
+			}
+		}
+		s.allocate(active)
+	}
+
+	res.DeliveredBytes = deliveredB
+	denom := float64(cfg.Endpoints) * float64(cfg.EndpointRate)
+	if res.SimTime > 0 {
+		res.MakespanGoodput = float64(deliveredB) * 8 / (res.SimTime.Seconds() * denom)
+	}
+	if windowEnd > 0 {
+		res.GoodputNorm = windowBits / (windowEnd * denom)
+	} else {
+		res.GoodputNorm = res.MakespanGoodput
+	}
+	return res, nil
+}
+
+// solver computes max-min rates by progressive filling.
+type solver struct {
+	cfg Config
+
+	// Constraint layout: [0,n) endpoint egress, [n,2n) endpoint ingress,
+	// then per-rack egress and ingress when oversubscribed.
+	nCons    int
+	rackBase int
+	caps0    []float64 // capacities (bits/s)
+
+	caps   []float64
+	counts []int
+	cons   [][4]int32 // per active flow (rebuilt): constraint indices, -1 padded
+	rates  []*flowState
+}
+
+func (s *solver) init() {
+	n := s.cfg.Endpoints
+	s.nCons = 2 * n
+	s.rackBase = 2 * n
+	rackCap := 0.0
+	racks := 0
+	if s.cfg.Oversub > 1 {
+		racks = n / s.cfg.EndpointsPerRack
+		s.nCons += 2 * racks
+		rackCap = float64(s.cfg.EndpointRate) * float64(s.cfg.EndpointsPerRack) / float64(s.cfg.Oversub)
+	}
+	s.caps0 = make([]float64, s.nCons)
+	for i := 0; i < 2*n; i++ {
+		s.caps0[i] = float64(s.cfg.EndpointRate)
+	}
+	for i := 0; i < 2*racks; i++ {
+		s.caps0[s.rackBase+i] = rackCap
+	}
+	s.caps = make([]float64, s.nCons)
+	s.counts = make([]int, s.nCons)
+}
+
+// constraintsFor returns the constraint indices of a flow.
+func (s *solver) constraintsFor(f *flowState) [4]int32 {
+	n := s.cfg.Endpoints
+	c := [4]int32{int32(f.src), int32(n + f.dst), -1, -1}
+	if s.cfg.Oversub > 1 {
+		srcRack := f.src / s.cfg.EndpointsPerRack
+		dstRack := f.dst / s.cfg.EndpointsPerRack
+		if srcRack != dstRack { // intra-rack traffic skips the aggregation tier
+			racks := n / s.cfg.EndpointsPerRack
+			c[2] = int32(s.rackBase + srcRack)
+			c[3] = int32(s.rackBase + racks + dstRack)
+		}
+	}
+	return c
+}
+
+// allocate computes max-min fair rates for the active flows.
+func (s *solver) allocate(active map[int]*flowState) {
+	copy(s.caps, s.caps0)
+	for i := range s.counts {
+		s.counts[i] = 0
+	}
+	s.rates = s.rates[:0]
+	s.cons = s.cons[:0]
+	// Deterministic order (map iteration is not): sort by pointer-free id
+	// via collecting and sorting by (src, dst, remaining) is overkill —
+	// rates are the unique max-min solution, independent of order.
+	for _, f := range active {
+		f.rate = 0
+		cs := s.constraintsFor(f)
+		s.rates = append(s.rates, f)
+		s.cons = append(s.cons, cs)
+		for _, c := range cs {
+			if c >= 0 {
+				s.counts[c]++
+			}
+		}
+	}
+	unfrozen := len(s.rates)
+	frozen := make([]bool, len(s.rates))
+	for unfrozen > 0 {
+		// Find the tightest constraint.
+		best, bestShare := -1, math.Inf(1)
+		for c := 0; c < s.nCons; c++ {
+			if s.counts[c] == 0 {
+				continue
+			}
+			share := s.caps[c] / float64(s.counts[c])
+			if share < bestShare {
+				best, bestShare = c, share
+			}
+		}
+		if best < 0 {
+			break
+		}
+		// Freeze every unfrozen flow crossing the bottleneck.
+		for i, cs := range s.cons {
+			if frozen[i] {
+				continue
+			}
+			hit := false
+			for _, c := range cs {
+				if int(c) == best {
+					hit = true
+					break
+				}
+			}
+			if !hit {
+				continue
+			}
+			frozen[i] = true
+			unfrozen--
+			s.rates[i].rate = bestShare
+			for _, c := range cs {
+				if c >= 0 {
+					s.caps[c] -= bestShare
+					if s.caps[c] < 0 {
+						s.caps[c] = 0
+					}
+					s.counts[c]--
+				}
+			}
+		}
+	}
+}

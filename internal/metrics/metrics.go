@@ -1,0 +1,160 @@
+// Package metrics provides the measurement machinery for the simulation
+// harness: sample collectors with exact percentiles, CDFs for the figure
+// reproductions, and peak trackers for queue occupancy.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sample collects float64 observations and answers exact order statistics.
+// It keeps every value; the experiments collect at most a few hundred
+// thousand points.
+type Sample struct {
+	vals   []float64
+	sorted bool
+	sum    float64
+}
+
+// Add records one observation.
+func (s *Sample) Add(v float64) {
+	s.vals = append(s.vals, v)
+	s.sorted = false
+	s.sum += v
+}
+
+// Count returns the number of observations.
+func (s *Sample) Count() int { return len(s.vals) }
+
+// Mean returns the arithmetic mean, or NaN when empty.
+func (s *Sample) Mean() float64 {
+	if len(s.vals) == 0 {
+		return math.NaN()
+	}
+	return s.sum / float64(len(s.vals))
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100) using the
+// nearest-rank method, or NaN when empty.
+func (s *Sample) Percentile(p float64) float64 {
+	if len(s.vals) == 0 {
+		return math.NaN()
+	}
+	if p <= 0 || p > 100 {
+		panic(fmt.Sprintf("metrics: percentile %v outside (0,100]", p))
+	}
+	s.ensureSorted()
+	rank := int(math.Ceil(p / 100 * float64(len(s.vals))))
+	if rank < 1 {
+		rank = 1
+	}
+	return s.vals[rank-1]
+}
+
+// Min returns the smallest observation, or NaN when empty.
+func (s *Sample) Min() float64 {
+	if len(s.vals) == 0 {
+		return math.NaN()
+	}
+	s.ensureSorted()
+	return s.vals[0]
+}
+
+// Max returns the largest observation, or NaN when empty.
+func (s *Sample) Max() float64 {
+	if len(s.vals) == 0 {
+		return math.NaN()
+	}
+	s.ensureSorted()
+	return s.vals[len(s.vals)-1]
+}
+
+func (s *Sample) ensureSorted() {
+	if !s.sorted {
+		sort.Float64s(s.vals)
+		s.sorted = true
+	}
+}
+
+// Values returns a copy of all observations (unordered unless order
+// statistics were queried since the last Add).
+func (s *Sample) Values() []float64 {
+	return append([]float64(nil), s.vals...)
+}
+
+// Merge folds every observation of src into s.
+func (s *Sample) Merge(src *Sample) {
+	for _, v := range src.vals {
+		s.Add(v)
+	}
+}
+
+// CDFPoint is one point of an empirical CDF.
+type CDFPoint struct {
+	X float64 // value
+	F float64 // cumulative fraction <= X
+}
+
+// CDF returns the empirical distribution at every distinct value.
+func (s *Sample) CDF() []CDFPoint {
+	if len(s.vals) == 0 {
+		return nil
+	}
+	s.ensureSorted()
+	var out []CDFPoint
+	n := float64(len(s.vals))
+	for i := 0; i < len(s.vals); i++ {
+		// Emit at the last occurrence of each distinct value.
+		if i+1 < len(s.vals) && s.vals[i+1] == s.vals[i] {
+			continue
+		}
+		out = append(out, CDFPoint{X: s.vals[i], F: float64(i+1) / n})
+	}
+	return out
+}
+
+// FractionBelow returns the fraction of observations <= x.
+func (s *Sample) FractionBelow(x float64) float64 {
+	if len(s.vals) == 0 {
+		return math.NaN()
+	}
+	s.ensureSorted()
+	i := sort.SearchFloat64s(s.vals, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(s.vals))
+}
+
+// Peak tracks the running maximum of a gauge (e.g. queue occupancy).
+type Peak struct {
+	cur  int
+	peak int
+}
+
+// Add shifts the gauge by delta (may be negative) and updates the peak.
+func (p *Peak) Add(delta int) {
+	p.cur += delta
+	if p.cur < 0 {
+		panic(fmt.Sprintf("metrics: gauge went negative (%d)", p.cur))
+	}
+	if p.cur > p.peak {
+		p.peak = p.cur
+	}
+}
+
+// Set sets the gauge to an absolute value.
+func (p *Peak) Set(v int) {
+	if v < 0 {
+		panic("metrics: negative gauge value")
+	}
+	p.cur = v
+	if v > p.peak {
+		p.peak = v
+	}
+}
+
+// Current returns the gauge's current value.
+func (p *Peak) Current() int { return p.cur }
+
+// Peak returns the maximum value observed.
+func (p *Peak) Peak() int { return p.peak }

@@ -1,0 +1,182 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"sirius/internal/rng"
+)
+
+func TestSampleBasics(t *testing.T) {
+	var s Sample
+	if !math.IsNaN(s.Mean()) || !math.IsNaN(s.Max()) || !math.IsNaN(s.Min()) {
+		t.Error("empty sample should answer NaN")
+	}
+	for _, v := range []float64{5, 1, 3, 2, 4} {
+		s.Add(v)
+	}
+	if s.Count() != 5 {
+		t.Errorf("count = %d", s.Count())
+	}
+	if s.Mean() != 3 {
+		t.Errorf("mean = %v, want 3", s.Mean())
+	}
+	if s.Min() != 1 || s.Max() != 5 {
+		t.Errorf("min/max = %v/%v", s.Min(), s.Max())
+	}
+	if got := s.Percentile(50); got != 3 {
+		t.Errorf("p50 = %v, want 3", got)
+	}
+	if got := s.Percentile(100); got != 5 {
+		t.Errorf("p100 = %v, want 5", got)
+	}
+	if got := s.Percentile(1); got != 1 {
+		t.Errorf("p1 = %v, want 1", got)
+	}
+}
+
+func TestPercentileNearestRank(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	if got := s.Percentile(99); got != 99 {
+		t.Errorf("p99 of 1..100 = %v, want 99", got)
+	}
+	if got := s.Percentile(50); got != 50 {
+		t.Errorf("p50 = %v, want 50", got)
+	}
+}
+
+func TestAddAfterPercentile(t *testing.T) {
+	var s Sample
+	s.Add(10)
+	_ = s.Percentile(50)
+	s.Add(1)
+	if got := s.Percentile(50); got != 1 {
+		t.Errorf("p50 after re-add = %v, want 1", got)
+	}
+}
+
+func TestPercentilePanics(t *testing.T) {
+	var s Sample
+	s.Add(1)
+	for _, p := range []float64{0, -1, 101} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Percentile(%v) did not panic", p)
+				}
+			}()
+			s.Percentile(p)
+		}()
+	}
+}
+
+func TestCDF(t *testing.T) {
+	var s Sample
+	for _, v := range []float64{1, 1, 2, 4} {
+		s.Add(v)
+	}
+	cdf := s.CDF()
+	want := []CDFPoint{{1, 0.5}, {2, 0.75}, {4, 1.0}}
+	if len(cdf) != len(want) {
+		t.Fatalf("cdf = %v, want %v", cdf, want)
+	}
+	for i := range want {
+		if cdf[i] != want[i] {
+			t.Errorf("cdf[%d] = %v, want %v", i, cdf[i], want[i])
+		}
+	}
+}
+
+func TestFractionBelow(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 10; i++ {
+		s.Add(float64(i))
+	}
+	if got := s.FractionBelow(5); got != 0.5 {
+		t.Errorf("FractionBelow(5) = %v, want 0.5", got)
+	}
+	if got := s.FractionBelow(0.5); got != 0 {
+		t.Errorf("FractionBelow(0.5) = %v, want 0", got)
+	}
+	if got := s.FractionBelow(10); got != 1 {
+		t.Errorf("FractionBelow(10) = %v, want 1", got)
+	}
+}
+
+func TestPropertyPercentileMatchesSort(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%100) + 1
+		r := rng.New(seed)
+		var s Sample
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = r.Float64() * 1000
+			s.Add(vals[i])
+		}
+		sort.Float64s(vals)
+		for _, p := range []float64{1, 25, 50, 75, 99, 100} {
+			rank := int(math.Ceil(p / 100 * float64(n)))
+			if rank < 1 {
+				rank = 1
+			}
+			if s.Percentile(p) != vals[rank-1] {
+				return false
+			}
+		}
+		return s.Min() == vals[0] && s.Max() == vals[n-1]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPeak(t *testing.T) {
+	var p Peak
+	p.Add(5)
+	p.Add(3)
+	p.Add(-6)
+	if p.Current() != 2 {
+		t.Errorf("current = %d, want 2", p.Current())
+	}
+	if p.Peak() != 8 {
+		t.Errorf("peak = %d, want 8", p.Peak())
+	}
+	p.Set(20)
+	if p.Peak() != 20 {
+		t.Errorf("peak after Set = %d, want 20", p.Peak())
+	}
+}
+
+func TestPeakPanicsNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative gauge did not panic")
+		}
+	}()
+	var p Peak
+	p.Add(-1)
+}
+
+func TestValuesAndMerge(t *testing.T) {
+	var a, b Sample
+	a.Add(1)
+	a.Add(3)
+	b.Add(2)
+	a.Merge(&b)
+	if a.Count() != 3 || a.Percentile(50) != 2 {
+		t.Errorf("merge broken: count=%d p50=%v", a.Count(), a.Percentile(50))
+	}
+	vals := a.Values()
+	vals[0] = 999 // must not alias
+	if a.Min() == 999 {
+		t.Error("Values aliases internal storage")
+	}
+	if len(vals) != 3 {
+		t.Errorf("values = %v", vals)
+	}
+}

@@ -1,0 +1,310 @@
+// Package phy models the physical-layer mechanisms that turn fast laser
+// tuning into fast *end-to-end* reconfiguration (§4.5, §6, §A.1):
+//
+//   - the guardband budget: laser tuning + time-synchronization error +
+//     clock-and-data-recovery (CDR) lock + cell preamble;
+//   - phase-caching CDR: sub-nanosecond relocking by caching per-source
+//     clock phase, refreshed every epoch by the cyclic schedule;
+//   - amplitude caching: per-source receive gain, replacing slow AGC;
+//   - PRBS generation and checking, used by the prototype emulation to
+//     measure bit error rates;
+//   - synthetic intensity waveforms for the Fig. 8b/8c reproductions.
+package phy
+
+import (
+	"fmt"
+
+	"sirius/internal/simtime"
+)
+
+// GuardbandBudget itemizes the dead time between timeslots during which the
+// end-to-end path reconfigures and no data can be transferred.
+type GuardbandBudget struct {
+	LaserTuning simtime.Duration // worst-case tuning latency of the TX laser
+	SyncError   simtime.Duration // worst-case time-sync inaccuracy across nodes
+	CDRLock     simtime.Duration // receiver clock/data recovery lock time
+	Preamble    simtime.Duration // cell preamble/framing overhead
+}
+
+// Total returns the required guardband.
+func (g GuardbandBudget) Total() simtime.Duration {
+	return g.LaserTuning + g.SyncError + g.CDRLock + g.Preamble
+}
+
+// SiriusV1Budget reproduces the first-generation prototype: a damped
+// off-the-shelf DSDBR (92 ns worst case) with a 100 ns guardband.
+func SiriusV1Budget() GuardbandBudget {
+	return GuardbandBudget{
+		LaserTuning: 92 * simtime.Nanosecond,
+		SyncError:   100 * simtime.Picosecond,
+		CDRLock:     900 * simtime.Picosecond,
+		Preamble:    7 * simtime.Nanosecond,
+	}
+}
+
+// SiriusV2Budget reproduces the second-generation prototype: the custom
+// SOA-gated chip (912 ps worst case), sub-ns CDR via phase caching, and a
+// 3.84 ns total guardband.
+func SiriusV2Budget() GuardbandBudget {
+	return GuardbandBudget{
+		LaserTuning: 912 * simtime.Picosecond,
+		SyncError:   10 * simtime.Picosecond, // ±5 ps measured
+		CDRLock:     625 * simtime.Picosecond,
+		Preamble:    2293 * simtime.Picosecond,
+	}
+}
+
+// Slot describes the fixed-size timeslot structure: data time plus
+// guardband. The paper's default simulation uses a 90 ns transmission slot
+// (562-byte cells at 50 Gb/s) plus a 10 ns guardband.
+type Slot struct {
+	LineRate  simtime.Rate     // per-channel rate (50 Gb/s)
+	CellBytes int              // cell size incl. headers
+	Guardband simtime.Duration // reconfiguration dead time
+}
+
+// DefaultSlot returns the paper's simulation default.
+func DefaultSlot() Slot {
+	return Slot{LineRate: 50 * simtime.Gbps, CellBytes: 562, Guardband: 10 * simtime.Nanosecond}
+}
+
+// DataTime returns the cell serialization time.
+func (s Slot) DataTime() simtime.Duration { return s.LineRate.TimeToSend(s.CellBytes) }
+
+// Duration returns the total slot length.
+func (s Slot) Duration() simtime.Duration { return s.DataTime() + s.Guardband }
+
+// Overhead returns the fraction of the slot lost to the guardband.
+func (s Slot) Overhead() float64 {
+	return s.Guardband.Seconds() / s.Duration().Seconds()
+}
+
+// SlotForGuardband builds a slot in which the guardband is the given value
+// and occupies the given fraction of the total slot, with the cell size
+// derived from the remaining data time (the Fig. 11 methodology: "as we
+// vary the guardband we proportionally adjust the slot length so the
+// guardband always accounts for 10% of the total slot").
+func SlotForGuardband(rate simtime.Rate, guard simtime.Duration, fraction float64) Slot {
+	if fraction <= 0 || fraction >= 1 {
+		panic("phy: guardband fraction must be in (0,1)")
+	}
+	total := simtime.Duration(float64(guard) / fraction)
+	data := total - guard
+	cell := rate.BytesIn(data)
+	if cell < 1 {
+		cell = 1
+	}
+	return Slot{LineRate: rate, CellBytes: cell, Guardband: guard}
+}
+
+// MaxGuardbandForOverhead returns the largest guardband that keeps
+// switching overhead below the given fraction for packets of size bytes:
+// the §2.2 analysis (576 B at 50 Gb/s with <10% overhead → 9.2 ns target,
+// rounded to the 10 ns design point).
+func MaxGuardbandForOverhead(rate simtime.Rate, bytes int, overhead float64) simtime.Duration {
+	dataTime := rate.TimeToSend(bytes)
+	return simtime.Duration(float64(dataTime) * overhead / (1 - overhead))
+}
+
+// CDR models receiver clock/data recovery with phase caching (§A.1).
+// On every reconnection the receiver must align its sampling phase to the
+// incoming bit stream; learning it from scratch takes microseconds
+// (standard transceivers), but the cyclic schedule reconnects every node
+// pair each epoch, so the phase learned last time remains valid and is
+// simply reloaded.
+type CDR struct {
+	ColdLock   simtime.Duration // full training from scratch
+	CachedLock simtime.Duration // reload of a cached phase
+	// StaleAfter bounds how long a cached phase stays valid: beyond it the
+	// oscillators have drifted too far and a cold lock is needed.
+	StaleAfter simtime.Duration
+
+	phase map[int]simtime.Time // source -> last refresh time
+}
+
+// NewCDR returns a phase-caching CDR calibrated to the paper: microsecond
+// cold lock, sub-nanosecond cached lock.
+func NewCDR() *CDR {
+	return &CDR{
+		ColdLock:   2 * simtime.Microsecond,
+		CachedLock: 625 * simtime.Picosecond,
+		StaleAfter: 100 * simtime.Microsecond,
+		phase:      make(map[int]simtime.Time),
+	}
+}
+
+// LockTime returns the lock latency for a transmission from src arriving at
+// time now, and records the refresh.
+func (c *CDR) LockTime(src int, now simtime.Time) simtime.Duration {
+	last, ok := c.phase[src]
+	c.phase[src] = now
+	if !ok || now.Sub(last) > c.StaleAfter {
+		return c.ColdLock
+	}
+	return c.CachedLock
+}
+
+// Cached reports whether a fresh phase is cached for src at time now.
+func (c *CDR) Cached(src int, now simtime.Time) bool {
+	last, ok := c.phase[src]
+	return ok && now.Sub(last) <= c.StaleAfter
+}
+
+// AGC models receive-side gain control with amplitude caching (§4.5):
+// the optical power arriving from different sources differs (fiber
+// lengths, couplings), and a conventional automatic gain control loop is
+// far too slow for nanosecond slots. Sirius caches the per-source gain,
+// refreshed every epoch by the cyclic schedule, exactly like the CDR's
+// phase cache.
+type AGC struct {
+	// SettleCold is a full gain-acquisition from scratch.
+	SettleCold simtime.Duration
+	// SettleCached applies a cached gain value.
+	SettleCached simtime.Duration
+	// Tolerance is the acceptable gain error (dB) before re-acquisition.
+	Tolerance float64
+
+	gain map[int]float64 // source -> cached gain (dB)
+}
+
+// NewAGC returns an amplitude-caching gain control calibrated to the
+// prototype: microsecond-scale cold acquisition, effectively free cached
+// application.
+func NewAGC() *AGC {
+	return &AGC{
+		SettleCold:   5 * simtime.Microsecond,
+		SettleCached: 100 * simtime.Picosecond,
+		Tolerance:    0.5,
+		gain:         make(map[int]float64),
+	}
+}
+
+// Settle returns the settling time for a burst from src arriving with
+// the given received power, updating the cache. A cached gain within
+// Tolerance applies instantly; drifted or unknown sources pay the cold
+// acquisition.
+func (a *AGC) Settle(src int, receivedDBm float64) simtime.Duration {
+	want := -receivedDBm // gain that normalizes the burst amplitude
+	got, ok := a.gain[src]
+	a.gain[src] = want
+	if ok && abs(got-want) <= a.Tolerance {
+		return a.SettleCached
+	}
+	return a.SettleCold
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// PRBS is a pseudo-random binary sequence generator (PRBS31,
+// x^31 + x^28 + 1), the standard test pattern the prototype FPGAs exchange
+// to measure bit error rate.
+type PRBS struct {
+	state uint32
+}
+
+// NewPRBS returns a generator with the given non-zero seed.
+func NewPRBS(seed uint32) *PRBS {
+	if seed == 0 {
+		seed = 1
+	}
+	return &PRBS{state: seed & 0x7fffffff}
+}
+
+// NextBit returns the next bit of the sequence.
+func (p *PRBS) NextBit() uint32 {
+	bit := ((p.state >> 30) ^ (p.state >> 27)) & 1
+	p.state = ((p.state << 1) | bit) & 0x7fffffff
+	return bit
+}
+
+// Fill fills buf with sequence bytes.
+func (p *PRBS) Fill(buf []byte) {
+	for i := range buf {
+		var b byte
+		for j := 0; j < 8; j++ {
+			b = b<<1 | byte(p.NextBit())
+		}
+		buf[i] = b
+	}
+}
+
+// CountErrors compares received data against the expected sequence
+// continuation and returns the number of differing bits.
+func (p *PRBS) CountErrors(got []byte) int {
+	want := make([]byte, len(got))
+	p.Fill(want)
+	errs := 0
+	for i := range got {
+		x := got[i] ^ want[i]
+		for x != 0 {
+			errs += int(x & 1)
+			x >>= 1
+		}
+	}
+	return errs
+}
+
+// WaveformSample is one point of a synthesized intensity trace.
+type WaveformSample struct {
+	T         simtime.Duration // time since trace start
+	Intensity float64          // normalized 0..1
+}
+
+// SwitchWaveform synthesizes the intensity trace of a wavelength switch for
+// the Fig. 8b reproduction: the old channel's intensity falls with the
+// source SOA's fall time while the new channel's rises with the destination
+// SOA's rise time. It returns the two channels' traces sampled every step.
+func SwitchWaveform(fall, rise simtime.Duration, span, step simtime.Duration) (oldCh, newCh []WaveformSample) {
+	if step <= 0 {
+		panic("phy: non-positive step")
+	}
+	switchAt := span / 2
+	for t := simtime.Duration(0); t <= span; t += step {
+		oldCh = append(oldCh, WaveformSample{T: t, Intensity: edge(t, switchAt, fall, 1, 0)})
+		newCh = append(newCh, WaveformSample{T: t, Intensity: edge(t, switchAt, rise, 0, 1)})
+	}
+	return oldCh, newCh
+}
+
+// edge interpolates a linear transition from before to after starting at
+// at, lasting width.
+func edge(t, at, width simtime.Duration, before, after float64) float64 {
+	switch {
+	case t <= at:
+		return before
+	case width <= 0 || t >= at+width:
+		return after
+	default:
+		f := float64(t-at) / float64(width)
+		return before + (after-before)*f
+	}
+}
+
+// BurstWaveform synthesizes the Fig. 8c trace: consecutive cell slots with
+// intensity high during data and low during the guardband.
+func BurstWaveform(s Slot, slots int, step simtime.Duration) []WaveformSample {
+	if slots <= 0 {
+		panic("phy: need at least one slot")
+	}
+	var out []WaveformSample
+	slotLen := s.Duration()
+	for t := simtime.Duration(0); t < simtime.Duration(slots)*slotLen; t += step {
+		within := t % slotLen
+		inten := 1.0
+		if within >= s.DataTime() {
+			inten = 0.0
+		}
+		out = append(out, WaveformSample{T: t, Intensity: inten})
+	}
+	return out
+}
+
+// String implements fmt.Stringer for debugging traces.
+func (w WaveformSample) String() string {
+	return fmt.Sprintf("%v:%.2f", w.T, w.Intensity)
+}

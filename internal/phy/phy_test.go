@@ -1,0 +1,266 @@
+package phy
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sirius/internal/simtime"
+)
+
+func TestGuardbandBudgets(t *testing.T) {
+	v1 := SiriusV1Budget()
+	// §6: Sirius v1 uses a 100 ns guardband for the 92 ns laser plus
+	// preamble.
+	if got := v1.Total(); got != 100*simtime.Nanosecond {
+		t.Errorf("v1 guardband = %v, want 100ns", got)
+	}
+	v2 := SiriusV2Budget()
+	// §6: Sirius v2 achieves 3.84 ns end-to-end reconfiguration.
+	if got := v2.Total(); got != 3840*simtime.Picosecond {
+		t.Errorf("v2 guardband = %v, want 3.84ns", got)
+	}
+	// Both meet the paper's 10 ns target only for v2.
+	if v2.Total() >= 10*simtime.Nanosecond {
+		t.Error("v2 should beat the 10ns target")
+	}
+	if v1.Total() < 10*simtime.Nanosecond {
+		t.Error("v1 should not meet the 10ns target")
+	}
+}
+
+func TestDefaultSlot(t *testing.T) {
+	s := DefaultSlot()
+	// 562 B at 50 Gb/s ≈ 89.92 ns data; +10 ns guard ≈ 100 ns slot.
+	if d := s.DataTime(); d < 89*simtime.Nanosecond || d > 91*simtime.Nanosecond {
+		t.Errorf("data time = %v, want ~90ns", d)
+	}
+	if d := s.Duration(); d < 99*simtime.Nanosecond || d > 101*simtime.Nanosecond {
+		t.Errorf("slot = %v, want ~100ns", d)
+	}
+	if o := s.Overhead(); o < 0.09 || o > 0.11 {
+		t.Errorf("overhead = %v, want ~0.10", o)
+	}
+}
+
+func TestSlotForGuardband(t *testing.T) {
+	// Fig. 11 methodology: guardband always 10% of the slot.
+	for _, g := range []simtime.Duration{
+		1 * simtime.Nanosecond, 5 * simtime.Nanosecond, 10 * simtime.Nanosecond,
+		20 * simtime.Nanosecond, 40 * simtime.Nanosecond,
+	} {
+		s := SlotForGuardband(50*simtime.Gbps, g, 0.10)
+		if o := s.Overhead(); o < 0.08 || o > 0.12 {
+			t.Errorf("guard %v: overhead = %v, want ~0.10", g, o)
+		}
+		if s.Guardband != g {
+			t.Errorf("guard %v: got %v", g, s.Guardband)
+		}
+	}
+	// 10 ns at 10% reproduces the default 562-byte cell.
+	s := SlotForGuardband(50*simtime.Gbps, 10*simtime.Nanosecond, 0.10)
+	if s.CellBytes < 555 || s.CellBytes > 565 {
+		t.Errorf("cell = %dB, want ~562", s.CellBytes)
+	}
+}
+
+func TestSlotForGuardbandPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("bad fraction did not panic")
+		}
+	}()
+	SlotForGuardband(50*simtime.Gbps, simtime.Nanosecond, 1.5)
+}
+
+func TestMaxGuardbandForOverhead(t *testing.T) {
+	// §2.2: 576 B packets at 50 Gb/s with <10% switching overhead need a
+	// guardband under ~10.24 ns (the paper quotes the 92 ns data time and
+	// a 9.2 ns bound using guard/data rather than guard/total; both land
+	// at the same ~10 ns design target).
+	g := MaxGuardbandForOverhead(50*simtime.Gbps, 576, 0.10)
+	if g < 9*simtime.Nanosecond || g > 11*simtime.Nanosecond {
+		t.Errorf("max guardband = %v, want ~10ns", g)
+	}
+}
+
+func TestCDRPhaseCaching(t *testing.T) {
+	c := NewCDR()
+	// First contact: cold lock (microseconds).
+	if got := c.LockTime(7, 0); got != c.ColdLock {
+		t.Errorf("first lock = %v, want cold %v", got, c.ColdLock)
+	}
+	// Reconnection one epoch (1.6 us) later: cached, sub-ns.
+	now := simtime.Time(0).Add(1600 * simtime.Nanosecond)
+	if got := c.LockTime(7, now); got != c.CachedLock {
+		t.Errorf("epoch relock = %v, want cached %v", got, c.CachedLock)
+	}
+	if c.CachedLock >= simtime.Nanosecond {
+		t.Error("cached lock should be sub-nanosecond")
+	}
+}
+
+func TestCDRStaleness(t *testing.T) {
+	c := NewCDR()
+	c.LockTime(3, 0)
+	stale := simtime.Time(0).Add(c.StaleAfter + simtime.Nanosecond)
+	if got := c.LockTime(3, stale); got != c.ColdLock {
+		t.Errorf("stale relock = %v, want cold", got)
+	}
+	if c.Cached(99, 0) {
+		t.Error("unknown source reported cached")
+	}
+}
+
+func TestPRBSProperties(t *testing.T) {
+	p := NewPRBS(0xBEEF)
+	// Roughly balanced ones/zeros.
+	ones := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		ones += int(p.NextBit())
+	}
+	if ones < n*45/100 || ones > n*55/100 {
+		t.Errorf("ones = %d/%d, want ~50%%", ones, n)
+	}
+}
+
+func TestPRBSZeroSeed(t *testing.T) {
+	p := NewPRBS(0)
+	// Must not get stuck at zero.
+	sum := uint32(0)
+	for i := 0; i < 1000; i++ {
+		sum += p.NextBit()
+	}
+	if sum == 0 {
+		t.Error("zero-seed PRBS produced all zeros")
+	}
+}
+
+func TestPRBSErrorCounting(t *testing.T) {
+	tx := NewPRBS(1)
+	rx := NewPRBS(1)
+	buf := make([]byte, 256)
+	tx.Fill(buf)
+	if errs := rx.CountErrors(buf); errs != 0 {
+		t.Errorf("clean channel shows %d errors", errs)
+	}
+	// Flip 3 bits.
+	tx2 := NewPRBS(1)
+	rx2 := NewPRBS(1)
+	buf2 := make([]byte, 256)
+	tx2.Fill(buf2)
+	buf2[0] ^= 0x01
+	buf2[100] ^= 0x80
+	buf2[200] ^= 0x10
+	if errs := rx2.CountErrors(buf2); errs != 3 {
+		t.Errorf("3 flipped bits counted as %d", errs)
+	}
+}
+
+func TestPRBSStreamsIndependent(t *testing.T) {
+	f := func(seed uint32, flips uint8) bool {
+		tx := NewPRBS(seed)
+		rx := NewPRBS(seed)
+		buf := make([]byte, 64)
+		tx.Fill(buf)
+		// Flip `flips` distinct bits.
+		n := int(flips) % 64
+		for i := 0; i < n; i++ {
+			buf[i] ^= 1
+		}
+		return rx.CountErrors(buf) == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSwitchWaveform(t *testing.T) {
+	old, newer := SwitchWaveform(912*simtime.Picosecond, 527*simtime.Picosecond,
+		4*simtime.Nanosecond, 100*simtime.Picosecond)
+	if len(old) != len(newer) || len(old) == 0 {
+		t.Fatal("trace lengths mismatch")
+	}
+	// Starts: old on, new off. Ends: old off, new on.
+	if old[0].Intensity != 1 || newer[0].Intensity != 0 {
+		t.Error("wrong initial intensities")
+	}
+	last := len(old) - 1
+	if old[last].Intensity != 0 || newer[last].Intensity != 1 {
+		t.Error("wrong final intensities")
+	}
+	// Monotone transitions.
+	for i := 1; i < len(old); i++ {
+		if old[i].Intensity > old[i-1].Intensity {
+			t.Fatal("old channel intensity rose during switch-off")
+		}
+		if newer[i].Intensity < newer[i-1].Intensity {
+			t.Fatal("new channel intensity fell during switch-on")
+		}
+	}
+}
+
+func TestBurstWaveform(t *testing.T) {
+	s := DefaultSlot()
+	trace := BurstWaveform(s, 3, simtime.Nanosecond)
+	if len(trace) == 0 {
+		t.Fatal("empty trace")
+	}
+	// Fraction of low samples ≈ guardband overhead.
+	low := 0
+	for _, w := range trace {
+		if w.Intensity == 0 {
+			low++
+		}
+	}
+	frac := float64(low) / float64(len(trace))
+	if frac < 0.05 || frac > 0.15 {
+		t.Errorf("low fraction = %v, want ~0.10", frac)
+	}
+}
+
+func TestBurstWaveformPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero slots did not panic")
+		}
+	}()
+	BurstWaveform(DefaultSlot(), 0, simtime.Nanosecond)
+}
+
+func TestAGCAmplitudeCaching(t *testing.T) {
+	a := NewAGC()
+	// First burst from a source: cold acquisition.
+	if got := a.Settle(4, -6.0); got != a.SettleCold {
+		t.Errorf("first burst settled in %v, want cold %v", got, a.SettleCold)
+	}
+	// Same source, same power: cached, effectively instant.
+	if got := a.Settle(4, -6.0); got != a.SettleCached {
+		t.Errorf("repeat burst settled in %v, want cached %v", got, a.SettleCached)
+	}
+	// Small drift within tolerance stays cached.
+	if got := a.Settle(4, -6.3); got != a.SettleCached {
+		t.Errorf("small drift settled in %v, want cached", got)
+	}
+	// A big power change (re-spliced fiber) forces re-acquisition.
+	if got := a.Settle(4, -2.0); got != a.SettleCold {
+		t.Errorf("large drift settled in %v, want cold", got)
+	}
+	// Distinct sources have distinct caches.
+	if got := a.Settle(5, -6.0); got != a.SettleCold {
+		t.Errorf("new source settled in %v, want cold", got)
+	}
+}
+
+func TestGuardbandCoversCachedPath(t *testing.T) {
+	// Integration: with phase and amplitude caching warm, the end-to-end
+	// reconfiguration (laser + sync + CDR + AGC) fits the v2 guardband.
+	budget := SiriusV2Budget()
+	agc := NewAGC()
+	agc.Settle(1, -6)
+	total := budget.LaserTuning + budget.SyncError + budget.CDRLock +
+		agc.Settle(1, -6)
+	if total > budget.Total() {
+		t.Errorf("cached reconfiguration %v exceeds guardband %v", total, budget.Total())
+	}
+}

@@ -1,0 +1,178 @@
+// Package rack models the rack-based deployment's intra-rack tier
+// (§4.1, §4.3): servers connect to an electrical rack switch whose
+// uplinks carry the tunable transceivers. The request/grant protocol
+// eliminates congestion in the optical core, so all that remains is a
+// simple one-hop, credit-based flow control between each server and its
+// rack switch (the paper points at the InfiniBand link-layer protocol) to
+// keep the switch's LOCAL buffer from overflowing — making the whole
+// path lossless.
+//
+// The model is slot-synchronous like the core simulator: per slot each
+// server downlink can carry a fixed number of cells toward the switch if
+// it holds credits, the switch's LOCAL buffer absorbs them (bounded), and
+// the optical uplinks drain LOCAL at the fabric rate. Credits return to
+// the server as its cells leave LOCAL. Intra-rack traffic is switched
+// locally and never consumes LOCAL space.
+package rack
+
+import "fmt"
+
+// Config shapes one rack.
+type Config struct {
+	// Servers attached to the switch.
+	Servers int
+	// DownlinkCellsPerSlot is each server link's capacity, in cells per
+	// optical timeslot (e.g. a 100G server link against 50G channels
+	// carries 2).
+	DownlinkCellsPerSlot int
+	// LocalCells is the LOCAL buffer capacity in cells.
+	LocalCells int
+	// UplinkCellsPerSlot is the optical drain rate of LOCAL (number of
+	// uplink transceivers).
+	UplinkCellsPerSlot int
+	// CreditsPerServer bounds each server's share of LOCAL; 0 divides
+	// LocalCells evenly.
+	CreditsPerServer int
+}
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	switch {
+	case c.Servers < 1:
+		return fmt.Errorf("rack: need >= 1 server")
+	case c.DownlinkCellsPerSlot < 1:
+		return fmt.Errorf("rack: downlink must carry >= 1 cell/slot")
+	case c.LocalCells < c.Servers:
+		return fmt.Errorf("rack: LOCAL (%d cells) below one credit per server", c.LocalCells)
+	case c.UplinkCellsPerSlot < 1:
+		return fmt.Errorf("rack: need >= 1 uplink cell/slot")
+	case c.CreditsPerServer < 0:
+		return fmt.Errorf("rack: negative credits")
+	}
+	return nil
+}
+
+// Switch is the rack switch state.
+type Switch struct {
+	cfg Config
+
+	credits []int // per server: credits in hand at the server
+	backlog []int // per server: inter-rack cells waiting at the server NIC
+	intra   []int // per server: intra-rack cells waiting at the server NIC
+
+	local      int   // cells in LOCAL
+	localOwner []int // FIFO of owning servers, for credit return order
+
+	// Stats.
+	peakLocal      int
+	deliveredUp    int64 // cells handed to the optical fabric
+	deliveredIntra int64 // cells switched within the rack
+	stalls         int64 // send attempts blocked on credits
+}
+
+// New builds a rack switch.
+func New(cfg Config) (*Switch, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.CreditsPerServer == 0 {
+		cfg.CreditsPerServer = cfg.LocalCells / cfg.Servers
+	}
+	s := &Switch{
+		cfg:     cfg,
+		credits: make([]int, cfg.Servers),
+		backlog: make([]int, cfg.Servers),
+		intra:   make([]int, cfg.Servers),
+	}
+	for i := range s.credits {
+		s.credits[i] = cfg.CreditsPerServer
+	}
+	return s, nil
+}
+
+// Offer enqueues cells at server sv: interRack cells head for the optical
+// fabric through LOCAL, intraRack cells are switched locally.
+func (s *Switch) Offer(sv, interRack, intraRack int) {
+	if sv < 0 || sv >= s.cfg.Servers || interRack < 0 || intraRack < 0 {
+		panic("rack: bad offer")
+	}
+	s.backlog[sv] += interRack
+	s.intra[sv] += intraRack
+}
+
+// Step advances one optical timeslot and returns the number of cells
+// handed to the fabric this slot.
+func (s *Switch) Step() int {
+	// 1. The optical uplinks drain LOCAL, returning credits to the
+	// owners of the drained cells.
+	drained := min(s.cfg.UplinkCellsPerSlot, s.local)
+	for i := 0; i < drained; i++ {
+		owner := s.localOwner[0]
+		s.localOwner = s.localOwner[1:]
+		s.credits[owner]++
+		s.local--
+	}
+	s.deliveredUp += int64(drained)
+
+	// 2. Each server downlink carries up to its per-slot budget:
+	// intra-rack cells switch immediately (no LOCAL space needed);
+	// inter-rack cells need a credit each.
+	for sv := 0; sv < s.cfg.Servers; sv++ {
+		budget := s.cfg.DownlinkCellsPerSlot
+		for budget > 0 && s.intra[sv] > 0 {
+			s.intra[sv]--
+			s.deliveredIntra++
+			budget--
+		}
+		for budget > 0 && s.backlog[sv] > 0 {
+			if s.credits[sv] == 0 {
+				s.stalls++
+				break // lossless: the server holds the cell
+			}
+			s.credits[sv]--
+			s.backlog[sv]--
+			s.local++
+			s.localOwner = append(s.localOwner, sv)
+			budget--
+		}
+	}
+	if s.local > s.peakLocal {
+		s.peakLocal = s.local
+	}
+	if s.local > s.cfg.LocalCells {
+		panic(fmt.Sprintf("rack: LOCAL overflow: %d > %d", s.local, s.cfg.LocalCells))
+	}
+	return drained
+}
+
+// Local returns the current LOCAL occupancy in cells.
+func (s *Switch) Local() int { return s.local }
+
+// PeakLocal returns the largest LOCAL occupancy observed.
+func (s *Switch) PeakLocal() int { return s.peakLocal }
+
+// Pending returns the inter-rack cells still waiting at server NICs.
+func (s *Switch) Pending() int {
+	total := 0
+	for _, b := range s.backlog {
+		total += b
+	}
+	return total
+}
+
+// DeliveredUp returns cells handed to the optical fabric so far.
+func (s *Switch) DeliveredUp() int64 { return s.deliveredUp }
+
+// DeliveredIntra returns cells switched within the rack so far.
+func (s *Switch) DeliveredIntra() int64 { return s.deliveredIntra }
+
+// Stalls returns how many sends were blocked waiting for credits —
+// back-pressure doing its job rather than dropping.
+func (s *Switch) Stalls() int64 { return s.stalls }
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

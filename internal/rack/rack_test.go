@@ -1,0 +1,185 @@
+package rack
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sirius/internal/rng"
+)
+
+func config() Config {
+	return Config{
+		Servers:              24,
+		DownlinkCellsPerSlot: 2,
+		LocalCells:           96,
+		UplinkCellsPerSlot:   8,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.Servers = 0 },
+		func(c *Config) { c.DownlinkCellsPerSlot = 0 },
+		func(c *Config) { c.LocalCells = 3 },
+		func(c *Config) { c.UplinkCellsPerSlot = 0 },
+		func(c *Config) { c.CreditsPerServer = -1 },
+	}
+	for i, mutate := range bad {
+		c := config()
+		mutate(&c)
+		if _, err := New(c); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestLosslessUnderOverload(t *testing.T) {
+	// Every server floods; LOCAL never exceeds its capacity (Step panics
+	// if it would) and nothing is dropped — cells either move or wait.
+	s, err := New(config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const perServer = 200
+	for sv := 0; sv < 24; sv++ {
+		s.Offer(sv, perServer, 0)
+	}
+	offered := int64(24 * perServer)
+	for i := 0; i < 10000 && s.DeliveredUp() < offered; i++ {
+		s.Step()
+	}
+	if s.DeliveredUp() != offered {
+		t.Fatalf("delivered %d of %d", s.DeliveredUp(), offered)
+	}
+	if s.PeakLocal() > 96 {
+		t.Errorf("LOCAL peaked at %d > 96", s.PeakLocal())
+	}
+	if s.Stalls() == 0 {
+		t.Error("overload should have exercised credit back-pressure")
+	}
+}
+
+func TestUplinkRateAchieved(t *testing.T) {
+	// With ample demand the uplinks run at full rate: 8 cells per slot.
+	s, err := New(config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for sv := 0; sv < 24; sv++ {
+		s.Offer(sv, 1000, 0)
+	}
+	total := 0
+	for i := 0; i < 100; i++ {
+		total += s.Step()
+	}
+	// Slot 0 has an empty LOCAL; steady state from slot 2 on.
+	if total < 8*97 {
+		t.Errorf("drained %d cells in 100 slots, want near 800", total)
+	}
+}
+
+func TestIntraRackBypassesLocal(t *testing.T) {
+	s, err := New(config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Offer(3, 0, 50)
+	for i := 0; i < 30; i++ {
+		s.Step()
+	}
+	if s.DeliveredIntra() != 50 {
+		t.Errorf("intra delivered %d of 50", s.DeliveredIntra())
+	}
+	if s.PeakLocal() != 0 {
+		t.Errorf("intra-rack traffic touched LOCAL (peak %d)", s.PeakLocal())
+	}
+	if s.Stalls() != 0 {
+		t.Error("intra-rack traffic needs no credits")
+	}
+}
+
+func TestFairnessAcrossServers(t *testing.T) {
+	// Per-server credits prevent one server from monopolizing LOCAL:
+	// a quiet server that starts sending later still gets through at
+	// its downlink rate.
+	s, err := New(config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Offer(0, 10_000, 0) // hog
+	for i := 0; i < 50; i++ {
+		s.Step()
+	}
+	before := s.DeliveredUp()
+	s.Offer(1, 20, 0) // latecomer
+	for i := 0; i < 50; i++ {
+		s.Step()
+	}
+	// The latecomer's 20 cells fit comfortably in 50 slots x 2/slot
+	// downlink if credits flow back fairly: total delivered must cover
+	// the hog's share plus all 20.
+	if got := s.DeliveredUp() - before; got < 20 {
+		t.Errorf("only %d cells moved after the latecomer arrived", got)
+	}
+	if s.Pending() > 10_000-30 {
+		t.Error("hog made no progress")
+	}
+}
+
+func TestCreditConservation(t *testing.T) {
+	// Property: credits in hand + cells in LOCAL per server == initial
+	// credits, at every step, under random load.
+	f := func(seed uint64) bool {
+		cfg := config()
+		s, err := New(cfg)
+		if err != nil {
+			return false
+		}
+		r := rng.New(seed)
+		for step := 0; step < 400; step++ {
+			if r.Float64() < 0.7 {
+				s.Offer(r.Intn(cfg.Servers), r.Intn(5), r.Intn(3))
+			}
+			s.Step()
+			total := s.local
+			for sv := 0; sv < cfg.Servers; sv++ {
+				total += s.credits[sv]
+			}
+			if total != cfg.Servers*(cfg.LocalCells/cfg.Servers) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDownlinkPacing(t *testing.T) {
+	// A single server is limited by its downlink, not by credits.
+	cfg := config()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Offer(0, 100, 0)
+	for i := 0; i < 10; i++ {
+		s.Step()
+	}
+	// 10 slots x 2 cells/slot = at most 20 cells accepted from the NIC.
+	moved := 100 - s.Pending() // accepted into LOCAL or delivered
+	if moved > 20 {
+		t.Errorf("moved %d cells in 10 slots, downlink allows 20", moved)
+	}
+}
+
+func TestOfferPanics(t *testing.T) {
+	s, _ := New(config())
+	defer func() {
+		if recover() == nil {
+			t.Error("bad Offer did not panic")
+		}
+	}()
+	s.Offer(99, 1, 0)
+}

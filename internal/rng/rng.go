@@ -1,0 +1,128 @@
+// Package rng provides a small, fast, deterministic random number generator
+// and the samplers used by the Sirius workload generator.
+//
+// Determinism matters: every experiment in EXPERIMENTS.md is reproducible
+// from a seed. The generator is xoshiro256**, seeded through splitmix64, the
+// standard pairing recommended by its authors.
+package rng
+
+import "math"
+
+// RNG is a deterministic xoshiro256** generator. It is not safe for
+// concurrent use; give each goroutine its own (use Split).
+type RNG struct {
+	s [4]uint64
+}
+
+// New returns a generator seeded from the given seed via splitmix64.
+func New(seed uint64) *RNG {
+	var r RNG
+	sm := seed
+	for i := range r.s {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		r.s[i] = z ^ (z >> 31)
+	}
+	// Avoid the all-zero state (splitmix cannot produce it from any seed,
+	// but be defensive).
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 1
+	}
+	return &r
+}
+
+// Split returns a new generator deterministically derived from r, advancing
+// r. Use it to hand independent streams to sub-components.
+func (r *RNG) Split() *RNG { return New(r.Uint64()) }
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	s := &r.s
+	result := rotl(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = rotl(s[3], 45)
+	return result
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Exp returns an exponentially distributed value with the given mean.
+// Used for Poisson inter-arrival times.
+func (r *RNG) Exp(mean float64) float64 {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return -mean * math.Log(u)
+}
+
+// Pareto returns a Pareto-distributed value with the given shape alpha and
+// mean. The paper's workload uses shape 1.05 and mean 100 KB: heavy tailed,
+// most flows small but most bytes in large flows.
+//
+// For a Pareto with scale xm and shape a > 1, mean = a*xm/(a-1), so
+// xm = mean*(a-1)/a.
+func (r *RNG) Pareto(alpha, mean float64) float64 {
+	if alpha <= 1 {
+		panic("rng: Pareto needs alpha > 1 for a finite mean")
+	}
+	xm := mean * (alpha - 1) / alpha
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return xm / math.Pow(u, 1/alpha)
+}
+
+// Normal returns a normally distributed value with the given mean and
+// standard deviation (Box-Muller).
+func (r *RNG) Normal(mean, stddev float64) float64 {
+	u1 := r.Float64()
+	for u1 == 0 {
+		u1 = r.Float64()
+	}
+	u2 := r.Float64()
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	return mean + stddev*z
+}
+
+// Perm returns a random permutation of [0, n) (Fisher-Yates).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle permutes the first n elements using swap, Fisher-Yates style.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}

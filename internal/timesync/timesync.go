@@ -1,0 +1,273 @@
+// Package timesync implements Sirius' decentralized time-synchronization
+// protocol (§4.4).
+//
+// Nanosecond switching needs nodes synchronized to well under 100 ps. The
+// passive gratings perform no retiming, so a receiver can extract the
+// sender's clock from the incoming bit stream; and the cyclic schedule
+// connects every pair once per epoch, so every node periodically hears a
+// designated leader and can discipline its oscillator against it with a
+// PLL/DLL. The leadership rotates round-robin every few epochs so a failed
+// leader is replaced within microseconds. No atomic clocks are required:
+// absolute drift is irrelevant as long as the nodes stay synchronized
+// *with each other*.
+//
+// The package also implements the §A.2 propagation-delay calibration: the
+// passive core lets a node measure its physical distance to the AWGR (via
+// its self-connection slot) and start its epochs early by exactly that
+// delay, so that cells from nodes at different fiber distances arrive at
+// the grating aligned to the slot boundary.
+package timesync
+
+import (
+	"fmt"
+	"math"
+
+	"sirius/internal/rng"
+	"sirius/internal/simtime"
+	"sirius/internal/topo"
+)
+
+// Oscillator models a node's local clock: a static frequency error plus a
+// slow random walk (temperature, aging).
+type Oscillator struct {
+	OffsetPPM float64 // static frequency error, parts per million
+	WalkPPM   float64 // random-walk std dev per update, ppm
+}
+
+// DefaultOscillator returns a typical crystal: up to ±20 ppm static error
+// with a small random walk — far worse than what uncorrected nanosecond
+// slots could tolerate, which is the point of the protocol.
+func DefaultOscillator(r *rng.RNG) Oscillator {
+	return Oscillator{
+		OffsetPPM: (r.Float64()*2 - 1) * 20,
+		WalkPPM:   0.01,
+	}
+}
+
+// Config parameterizes the protocol.
+type Config struct {
+	Nodes       int
+	EpochLen    simtime.Duration
+	LeaderTerm  int     // epochs between leader rotations
+	MeasNoisePS float64 // std dev of per-epoch phase measurement noise
+	PhaseGain   float64 // DLL phase-slew gain (fraction of error removed per epoch)
+	FreqGain    float64 // PLL frequency-correction gain
+	MaxSlewPPM  float64 // DLL clamp filtering byzantine frequency jumps
+	Seed        uint64
+}
+
+// DefaultConfig returns a configuration matching the paper's deployment:
+// 1.6 us epochs (16 slots x 100 ns) and leader rotation every few epochs.
+func DefaultConfig(nodes int) Config {
+	return Config{
+		Nodes:       nodes,
+		EpochLen:    1600 * simtime.Nanosecond,
+		LeaderTerm:  4,
+		MeasNoisePS: 0.5,
+		PhaseGain:   0.6,
+		FreqGain:    0.25,
+		MaxSlewPPM:  100,
+		Seed:        1,
+	}
+}
+
+// Network simulates the synchronization protocol across the fabric.
+type Network struct {
+	cfg    Config
+	r      *rng.RNG
+	osc    []Oscillator
+	corr   []float64 // applied frequency correction, ppm
+	phase  []float64 // clock phase error vs ideal time, ps
+	failed []bool
+	epoch  int
+}
+
+// NewNetwork creates a network of nodes with randomized oscillators.
+func NewNetwork(cfg Config) (*Network, error) {
+	if cfg.Nodes < 2 {
+		return nil, fmt.Errorf("timesync: need >= 2 nodes")
+	}
+	if cfg.EpochLen <= 0 {
+		return nil, fmt.Errorf("timesync: non-positive epoch")
+	}
+	if cfg.LeaderTerm < 1 {
+		return nil, fmt.Errorf("timesync: leader term must be >= 1")
+	}
+	n := &Network{
+		cfg:    cfg,
+		r:      rng.New(cfg.Seed),
+		osc:    make([]Oscillator, cfg.Nodes),
+		corr:   make([]float64, cfg.Nodes),
+		phase:  make([]float64, cfg.Nodes),
+		failed: make([]bool, cfg.Nodes),
+	}
+	for i := range n.osc {
+		n.osc[i] = DefaultOscillator(n.r)
+	}
+	return n, nil
+}
+
+// SetOscillator overrides node i's oscillator (for byzantine-clock tests).
+func (n *Network) SetOscillator(i int, o Oscillator) { n.osc[i] = o }
+
+// Fail marks node i failed: it stops serving as leader and stops updating.
+func (n *Network) Fail(i int) { n.failed[i] = true }
+
+// Leader returns the current leader, skipping failed nodes (the automatic
+// replacement of §4.4).
+func (n *Network) Leader() int {
+	base := (n.epoch / n.cfg.LeaderTerm) % n.cfg.Nodes
+	for k := 0; k < n.cfg.Nodes; k++ {
+		l := (base + k) % n.cfg.Nodes
+		if !n.failed[l] {
+			return l
+		}
+	}
+	return -1
+}
+
+// Step advances the network by one epoch: oscillators drift, then every
+// live node disciplines its clock against the leader's beacon received
+// during the epoch.
+func (n *Network) Step() {
+	epochPS := float64(n.cfg.EpochLen.Picoseconds())
+	// Free-running drift.
+	for i := range n.phase {
+		if n.failed[i] {
+			continue
+		}
+		n.osc[i].OffsetPPM += n.r.Normal(0, n.osc[i].WalkPPM)
+		eff := n.osc[i].OffsetPPM - n.corr[i]
+		n.phase[i] += eff * 1e-6 * epochPS
+	}
+	leader := n.Leader()
+	if leader < 0 {
+		n.epoch++
+		return
+	}
+	// Discipline against the leader.
+	for i := range n.phase {
+		if i == leader || n.failed[i] {
+			continue
+		}
+		measured := n.phase[i] - n.phase[leader] + n.r.Normal(0, n.cfg.MeasNoisePS)
+		// DLL phase slew, clamped to filter out absurd corrections
+		// (partially addressing byzantine clocks, §4.4).
+		slew := n.cfg.PhaseGain * measured
+		maxSlew := n.cfg.MaxSlewPPM * 1e-6 * epochPS
+		slew = math.Max(-maxSlew, math.Min(maxSlew, slew))
+		n.phase[i] -= slew
+		// PLL frequency correction from the same observation.
+		freqErrPPM := measured / epochPS * 1e6
+		corr := n.cfg.FreqGain * freqErrPPM
+		corr = math.Max(-n.cfg.MaxSlewPPM, math.Min(n.cfg.MaxSlewPPM, corr))
+		n.corr[i] += corr
+	}
+	n.epoch++
+}
+
+// Spread returns the current maximum pairwise phase difference across live
+// nodes, in picoseconds — the "±x ps" accuracy metric of §6.
+func (n *Network) Spread() float64 {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i, p := range n.phase {
+		if n.failed[i] {
+			continue
+		}
+		lo = math.Min(lo, p)
+		hi = math.Max(hi, p)
+	}
+	return hi - lo
+}
+
+// Stats summarizes a run.
+type Stats struct {
+	Epochs      int
+	MaxSpreadPS float64 // worst pairwise deviation after warmup
+	EndSpreadPS float64
+}
+
+// Run advances the network for the given number of epochs, ignoring the
+// first warmup epochs when recording the maximum spread.
+func (n *Network) Run(epochs, warmup int) Stats {
+	s := Stats{Epochs: epochs}
+	for e := 0; e < epochs; e++ {
+		n.Step()
+		if e >= warmup {
+			s.MaxSpreadPS = math.Max(s.MaxSpreadPS, n.Spread())
+		}
+	}
+	s.EndSpreadPS = n.Spread()
+	return s
+}
+
+// Calibration holds the per-node propagation compensation of §A.2.
+type Calibration struct {
+	// Delay is each node's one-way fiber delay to the grating layer,
+	// measured via the loopback self-slot (RTT/2).
+	Delay []simtime.Duration
+}
+
+// Calibrate measures every node's distance to the AWGR. In the real system
+// the node transmits to itself on its self-connection slot and halves the
+// round-trip time; here that measurement is exact by construction.
+func Calibrate(fiberM []float64) Calibration {
+	c := Calibration{Delay: make([]simtime.Duration, len(fiberM))}
+	for i, m := range fiberM {
+		rtt := topo.PropagationDelay(2 * m)
+		c.Delay[i] = rtt / 2
+	}
+	return c
+}
+
+// CalibrateNoisy models the real §A.2 measurement: each node times its
+// loopback round trip with per-sample jitter (receiver quantization,
+// residual sync error) and averages `samples` measurements. It returns
+// the calibration and the worst per-node estimation error.
+func CalibrateNoisy(fiberM []float64, noisePS float64, samples int, seed uint64) (Calibration, simtime.Duration) {
+	if samples < 1 {
+		panic("timesync: need >= 1 sample")
+	}
+	r := rng.New(seed)
+	c := Calibration{Delay: make([]simtime.Duration, len(fiberM))}
+	var worst simtime.Duration
+	for i, m := range fiberM {
+		truth := topo.PropagationDelay(m)
+		sum := 0.0
+		for s := 0; s < samples; s++ {
+			rtt := 2*float64(truth) + r.Normal(0, noisePS*float64(simtime.Picosecond))
+			sum += rtt / 2
+		}
+		c.Delay[i] = simtime.Duration(sum / float64(samples))
+		err := c.Delay[i] - truth
+		if err < 0 {
+			err = -err
+		}
+		if err > worst {
+			worst = err
+		}
+	}
+	return c, worst
+}
+
+// TxAdvance returns how much earlier than the nominal slot boundary node i
+// must start transmitting: exactly its fiber delay, so the cell reaches
+// the grating on the boundary ("the longer the distance, the sooner it
+// starts").
+func (c Calibration) TxAdvance(i int) simtime.Duration { return c.Delay[i] }
+
+// ArrivalAtGrating returns when a cell transmitted by node i for the slot
+// starting at slotStart reaches the grating, given the calibration.
+func (c Calibration) ArrivalAtGrating(i int, slotStart simtime.Time) simtime.Time {
+	return slotStart.Add(-c.TxAdvance(i)).Add(c.Delay[i])
+}
+
+// RxDelay returns how much after the slot boundary node j's receive window
+// must open for a cell that crossed the grating on the boundary.
+func (c Calibration) RxDelay(j int) simtime.Duration { return c.Delay[j] }
+
+// PairLatency returns the end-to-end propagation latency from node i to
+// node j through the grating.
+func (c Calibration) PairLatency(i, j int) simtime.Duration {
+	return c.Delay[i] + c.Delay[j]
+}

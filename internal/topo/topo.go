@@ -1,0 +1,232 @@
+// Package topo describes the physical topologies compared in the paper:
+// the flat Sirius fabric (nodes → tunable transceivers → one layer of
+// passive gratings) and the hierarchical folded-Clos electrically-switched
+// network (ESN) used as the baseline.
+package topo
+
+import (
+	"fmt"
+
+	"sirius/internal/simtime"
+)
+
+// SpeedOfLightFiber is the propagation speed in optical fiber, ~2/3 c,
+// i.e. almost exactly 5 ns per metre of round trip or 5 µs per km one way.
+const SpeedOfLightFiber = 2.0e8 // m/s
+
+// PropagationDelay returns the one-way fiber latency for a distance in
+// metres.
+func PropagationDelay(metres float64) simtime.Duration {
+	return simtime.Duration(metres / SpeedOfLightFiber * float64(simtime.Second))
+}
+
+// Sirius describes a flat Sirius fabric.
+//
+// Nodes are partitioned into Groups = Nodes/GratingPorts groups of
+// GratingPorts nodes. Grating (a,b) connects the transmit side of group a
+// to the receive side of group b, so a node needs one uplink per
+// destination group — Uplinks = Multiplicity × Groups — and the fabric
+// needs Groups² × Multiplicity gratings (Fig. 5a shows the 4-node,
+// 2-uplink, 2-port-grating instance).
+type Sirius struct {
+	Nodes        int
+	GratingPorts int
+	Multiplicity int          // uplinks per destination group (≥1; 2 = "2x uplinks")
+	LinkRate     simtime.Rate // per-transceiver rate
+	FiberM       []float64    // optional per-node distance to the grating layer (metres)
+}
+
+// NewSirius returns a fabric with the given shape and validates it.
+func NewSirius(nodes, gratingPorts, multiplicity int, rate simtime.Rate) (*Sirius, error) {
+	s := &Sirius{Nodes: nodes, GratingPorts: gratingPorts, Multiplicity: multiplicity, LinkRate: rate}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Validate checks the shape invariants.
+func (s *Sirius) Validate() error {
+	switch {
+	case s.Nodes < 2:
+		return fmt.Errorf("topo: need at least 2 nodes, have %d", s.Nodes)
+	case s.GratingPorts < 1:
+		return fmt.Errorf("topo: need at least 1 grating port")
+	case s.Nodes%s.GratingPorts != 0:
+		return fmt.Errorf("topo: nodes (%d) must be a multiple of grating ports (%d)", s.Nodes, s.GratingPorts)
+	case s.Multiplicity < 1:
+		return fmt.Errorf("topo: multiplicity must be >= 1")
+	case s.LinkRate <= 0:
+		return fmt.Errorf("topo: non-positive link rate")
+	case s.FiberM != nil && len(s.FiberM) != s.Nodes:
+		return fmt.Errorf("topo: fiber lengths (%d) do not match nodes (%d)", len(s.FiberM), s.Nodes)
+	}
+	return nil
+}
+
+// Groups returns the number of node groups.
+func (s *Sirius) Groups() int { return s.Nodes / s.GratingPorts }
+
+// Uplinks returns the number of tunable transceivers per node.
+func (s *Sirius) Uplinks() int { return s.Groups() * s.Multiplicity }
+
+// Gratings returns the number of gratings in the core.
+func (s *Sirius) Gratings() int { return s.Groups() * s.Groups() * s.Multiplicity }
+
+// Transceivers returns the total number of tunable transceivers.
+func (s *Sirius) Transceivers() int { return s.Nodes * s.Uplinks() }
+
+// Grating returns which grating uplink u of node i is physically connected
+// to, and the input port it occupies on that grating.
+func (s *Sirius) Grating(node, uplink int) (grating, port int) {
+	s.checkNodeUplink(node, uplink)
+	srcGroup := node / s.GratingPorts
+	dstGroup := uplink % s.Groups()
+	plane := uplink / s.Groups() // which multiplicity copy
+	grating = (srcGroup*s.Groups()+dstGroup)*s.Multiplicity + plane
+	port = node % s.GratingPorts
+	return grating, port
+}
+
+// DestGroup returns the destination node group reachable through uplink u.
+func (s *Sirius) DestGroup(uplink int) int {
+	if uplink < 0 || uplink >= s.Uplinks() {
+		panic(fmt.Sprintf("topo: uplink %d outside [0,%d)", uplink, s.Uplinks()))
+	}
+	return uplink % s.Groups()
+}
+
+// ReachableFrom returns the destination nodes reachable through uplink u
+// (the output side of the grating it connects to).
+func (s *Sirius) ReachableFrom(node, uplink int) []int {
+	s.checkNodeUplink(node, uplink)
+	g := s.DestGroup(uplink)
+	out := make([]int, s.GratingPorts)
+	for p := 0; p < s.GratingPorts; p++ {
+		out[p] = g*s.GratingPorts + p
+	}
+	return out
+}
+
+// UplinkFor returns an uplink of src that reaches dst (the first plane).
+func (s *Sirius) UplinkFor(src, dst int) int {
+	if dst < 0 || dst >= s.Nodes {
+		panic(fmt.Sprintf("topo: node %d outside [0,%d)", dst, s.Nodes))
+	}
+	return dst / s.GratingPorts
+}
+
+// NodeBandwidth returns the aggregate uplink bandwidth per node.
+func (s *Sirius) NodeBandwidth() simtime.Rate {
+	return s.LinkRate * simtime.Rate(s.Uplinks())
+}
+
+// PropagationTo returns the one-way delay from node i to the grating
+// layer. With no fiber map configured it returns zero (co-located).
+func (s *Sirius) PropagationTo(node int) simtime.Duration {
+	if s.FiberM == nil {
+		return 0
+	}
+	return PropagationDelay(s.FiberM[node])
+}
+
+func (s *Sirius) checkNodeUplink(node, uplink int) {
+	if node < 0 || node >= s.Nodes {
+		panic(fmt.Sprintf("topo: node %d outside [0,%d)", node, s.Nodes))
+	}
+	if uplink < 0 || uplink >= s.Uplinks() {
+		panic(fmt.Sprintf("topo: uplink %d outside [0,%d)", uplink, s.Uplinks()))
+	}
+}
+
+// Clos describes a folded-Clos (fat-tree style) electrically-switched
+// network built from identical Radix-port switches, the topology the paper
+// uses for its ESN baselines and its power/cost model.
+type Clos struct {
+	Hosts    int // endpoints (racks or servers) attached at the edge
+	Radix    int // ports per switch
+	PortRate simtime.Rate
+	// Oversub is the oversubscription ratio at the aggregation tier:
+	// 1 = non-blocking, 3 = the paper's 3:1 ESN-OSUB.
+	Oversub int
+}
+
+// NewClos validates and returns a Clos description.
+func NewClos(hosts, radix int, rate simtime.Rate, oversub int) (*Clos, error) {
+	c := &Clos{Hosts: hosts, Radix: radix, PortRate: rate, Oversub: oversub}
+	if hosts < 2 || radix < 2 || rate <= 0 || oversub < 1 {
+		return nil, fmt.Errorf("topo: invalid Clos %+v", c)
+	}
+	return c, nil
+}
+
+// Layers returns the number of switch layers needed to connect Hosts
+// endpoints non-blocking with Radix-port switches: one layer connects
+// Radix hosts; each extra layer multiplies reach by Radix/2 (folded Clos).
+func (c *Clos) Layers() int {
+	if c.Hosts <= 2 {
+		return 0 // direct fiber, no switch
+	}
+	layers := 1
+	reach := c.Radix
+	for reach < c.Hosts {
+		reach *= c.Radix / 2
+		layers++
+	}
+	return layers
+}
+
+// Switches returns the total switch count of a non-blocking folded Clos
+// with L layers: hosts/radix edge switches; each subsequent tier needs
+// hosts/radix switches as well (half the ports down, half up), except the
+// top tier which needs half that (all ports down).
+func (c *Clos) Switches() int {
+	l := c.Layers()
+	if l == 0 {
+		return 0
+	}
+	perTier := (c.Hosts + c.Radix - 1) / c.Radix
+	if l == 1 {
+		return perTier
+	}
+	// Tiers 1..l-1 use hosts/(radix/2) switches... for the standard
+	// folded Clos built from identical switches, tiers below the top have
+	// hosts/(radix/2) switches; the top has hosts/radix.
+	mid := (c.Hosts + c.Radix/2 - 1) / (c.Radix / 2)
+	total := perTier // top tier
+	for t := 1; t < l; t++ {
+		total += mid
+	}
+	// Oversubscription trims the tiers above the edge proportionally.
+	if c.Oversub > 1 {
+		above := total - mid
+		total = mid + above/c.Oversub
+	}
+	return total
+}
+
+// Transceivers returns the number of optical transceivers: two per
+// inter-switch link plus one per host-facing port. Every end-to-end path
+// in an L-layer Clos crosses up to 2L-1 switches and 2L fiber hops.
+func (c *Clos) Transceivers() int {
+	l := c.Layers()
+	if l == 0 {
+		return c.Hosts // direct host-to-host fiber: one transceiver each
+	}
+	// Each tier boundary carries hosts links upward (non-blocking), each
+	// with a transceiver at both ends.
+	interTier := c.Hosts * 2 * (l - 1)
+	if c.Oversub > 1 {
+		interTier /= c.Oversub
+	}
+	return c.Hosts + interTier
+}
+
+// BisectionBandwidth returns the bisection bandwidth of the fabric.
+func (c *Clos) BisectionBandwidth() simtime.Rate {
+	bw := simtime.Rate(c.Hosts/2) * c.PortRate
+	if c.Oversub > 1 {
+		bw /= simtime.Rate(c.Oversub)
+	}
+	return bw
+}

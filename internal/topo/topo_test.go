@@ -1,0 +1,258 @@
+package topo
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sirius/internal/simtime"
+)
+
+func TestSiriusFig5(t *testing.T) {
+	// Fig. 5a: 4 nodes, 2-port gratings -> 2 groups, 2 uplinks each,
+	// 4 gratings.
+	s, err := NewSirius(4, 2, 1, 50*simtime.Gbps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Groups() != 2 || s.Uplinks() != 2 || s.Gratings() != 4 {
+		t.Fatalf("groups/uplinks/gratings = %d/%d/%d, want 2/2/4",
+			s.Groups(), s.Uplinks(), s.Gratings())
+	}
+	if s.Transceivers() != 8 {
+		t.Errorf("transceivers = %d, want 8", s.Transceivers())
+	}
+	// Node 0 reaches nodes {0,1} on uplink 0 and {2,3} on uplink 1.
+	got := s.ReachableFrom(0, 0)
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("ReachableFrom(0,0) = %v, want [0 1]", got)
+	}
+	got = s.ReachableFrom(0, 1)
+	if len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Errorf("ReachableFrom(0,1) = %v, want [2 3]", got)
+	}
+}
+
+func TestSiriusPaperScale(t *testing.T) {
+	// §4.1: 128 racks with 8 uplinks use 16-port gratings.
+	s, err := NewSirius(128, 16, 1, 50*simtime.Gbps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Uplinks() != 8 {
+		t.Errorf("uplinks = %d, want 8", s.Uplinks())
+	}
+	// §4.1: 4,096 racks with 16-port gratings need 256 uplinks.
+	s2, err := NewSirius(4096, 16, 1, 50*simtime.Gbps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Uplinks() != 256 {
+		t.Errorf("uplinks = %d, want 256", s2.Uplinks())
+	}
+	// §4.1: 100-port gratings with 256 uplinks connect 25,600 racks.
+	s3, err := NewSirius(25600, 100, 1, 50*simtime.Gbps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s3.Uplinks() != 256 {
+		t.Errorf("uplinks = %d, want 256", s3.Uplinks())
+	}
+}
+
+func TestSiriusMultiplicity(t *testing.T) {
+	// Doubled uplinks for the VLB throughput compensation.
+	s, err := NewSirius(16, 4, 2, 50*simtime.Gbps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Uplinks() != 8 {
+		t.Errorf("uplinks = %d, want 8", s.Uplinks())
+	}
+	if s.NodeBandwidth() != 400*simtime.Gbps {
+		t.Errorf("node bandwidth = %v Gbps, want 400", s.NodeBandwidth().Gbit())
+	}
+	// Both planes of the same destination group reach the same nodes.
+	a := s.ReachableFrom(3, 1)
+	b := s.ReachableFrom(3, 5) // uplink 1 + groups(4) = second plane of group 1
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("planes reach different nodes: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestGratingWiringConsistent(t *testing.T) {
+	// Each grating input port is used by exactly one node uplink.
+	f := func(nodesRaw, portsRaw uint8) bool {
+		ports := int(portsRaw%8) + 1
+		groups := int(nodesRaw%6) + 1
+		nodes := ports * groups
+		if nodes < 2 {
+			return true
+		}
+		s, err := NewSirius(nodes, ports, 1, simtime.Gbps)
+		if err != nil {
+			return false
+		}
+		used := make(map[[2]int]bool) // (grating, port) -> used
+		for n := 0; n < nodes; n++ {
+			for u := 0; u < s.Uplinks(); u++ {
+				g, p := s.Grating(n, u)
+				if g < 0 || g >= s.Gratings() || p < 0 || p >= ports {
+					return false
+				}
+				key := [2]int{g, p}
+				if used[key] {
+					return false
+				}
+				used[key] = true
+			}
+		}
+		// All grating inputs used exactly once.
+		return len(used) == s.Gratings()*ports
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUplinkForReaches(t *testing.T) {
+	s, err := NewSirius(64, 8, 1, simtime.Gbps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for src := 0; src < 64; src += 7 {
+		for dst := 0; dst < 64; dst++ {
+			u := s.UplinkFor(src, dst)
+			found := false
+			for _, r := range s.ReachableFrom(src, u) {
+				if r == dst {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("uplink %d of node %d does not reach %d", u, src, dst)
+			}
+		}
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	bad := []Sirius{
+		{Nodes: 1, GratingPorts: 1, Multiplicity: 1, LinkRate: 1},
+		{Nodes: 10, GratingPorts: 3, Multiplicity: 1, LinkRate: 1},
+		{Nodes: 4, GratingPorts: 2, Multiplicity: 0, LinkRate: 1},
+		{Nodes: 4, GratingPorts: 2, Multiplicity: 1, LinkRate: 0},
+		{Nodes: 4, GratingPorts: 2, Multiplicity: 1, LinkRate: 1, FiberM: []float64{1}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: invalid topology validated", i)
+		}
+	}
+}
+
+func TestPropagation(t *testing.T) {
+	// 500 m of fiber is 2.5 us one way (§4.2's worst-case detour figure
+	// is one extra traversal of the datacenter span).
+	if got := PropagationDelay(500); got != 2500*simtime.Nanosecond {
+		t.Errorf("500m = %v, want 2.5us", got)
+	}
+	s, _ := NewSirius(4, 2, 1, simtime.Gbps)
+	if s.PropagationTo(0) != 0 {
+		t.Error("no fiber map should mean zero delay")
+	}
+	s.FiberM = []float64{100, 200, 300, 400}
+	if s.PropagationTo(1) != PropagationDelay(200) {
+		t.Error("wrong per-node delay")
+	}
+}
+
+func TestClosLayersPaper(t *testing.T) {
+	// Fig. 2a x-axis: 2 hosts = 0 layers, 64 = 1, 2K = 2, 65K = 3, 2M = 4,
+	// with 64-port switches.
+	cases := []struct {
+		hosts, want int
+	}{
+		{2, 0}, {64, 1}, {2048, 2}, {65536, 3}, {2000000, 4},
+	}
+	for _, c := range cases {
+		clos, err := NewClos(c.hosts, 64, 400*simtime.Gbps, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := clos.Layers(); got != c.want {
+			t.Errorf("%d hosts: layers = %d, want %d", c.hosts, got, c.want)
+		}
+	}
+}
+
+func TestClosCounts(t *testing.T) {
+	c, err := NewClos(64, 64, 400*simtime.Gbps, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Switches() != 1 {
+		t.Errorf("64 hosts on a 64-port switch = %d switches, want 1", c.Switches())
+	}
+	if c.Transceivers() != 64 {
+		t.Errorf("transceivers = %d, want 64", c.Transceivers())
+	}
+	// A two-layer Clos has edge + spine and host*2 inter-tier transceivers.
+	c2, _ := NewClos(2048, 64, 400*simtime.Gbps, 1)
+	if c2.Layers() != 2 {
+		t.Fatal("want 2 layers")
+	}
+	if c2.Transceivers() != 2048+2048*2 {
+		t.Errorf("transceivers = %d, want %d", c2.Transceivers(), 2048*3)
+	}
+}
+
+func TestClosOversubscription(t *testing.T) {
+	nb, _ := NewClos(2048, 64, 400*simtime.Gbps, 1)
+	os, _ := NewClos(2048, 64, 400*simtime.Gbps, 3)
+	if os.BisectionBandwidth()*3 != nb.BisectionBandwidth() {
+		t.Errorf("3:1 oversub bisection = %v, want third of %v",
+			os.BisectionBandwidth(), nb.BisectionBandwidth())
+	}
+	if os.Transceivers() >= nb.Transceivers() {
+		t.Error("oversubscribed fabric should use fewer transceivers")
+	}
+	if os.Switches() >= nb.Switches() {
+		t.Error("oversubscribed fabric should use fewer switches")
+	}
+}
+
+func TestClosInvalid(t *testing.T) {
+	if _, err := NewClos(1, 64, simtime.Gbps, 1); err == nil {
+		t.Error("1-host Clos validated")
+	}
+	if _, err := NewClos(64, 64, simtime.Gbps, 0); err == nil {
+		t.Error("0 oversub validated")
+	}
+}
+
+func TestNewSiriusRejectsInvalid(t *testing.T) {
+	if _, err := NewSirius(10, 3, 1, simtime.Gbps); err == nil {
+		t.Error("non-divisible topology accepted")
+	}
+}
+
+func TestIndexPanics(t *testing.T) {
+	s, _ := NewSirius(8, 4, 1, simtime.Gbps)
+	for name, f := range map[string]func(){
+		"DestGroup":     func() { s.DestGroup(99) },
+		"UplinkFor dst": func() { s.UplinkFor(0, 99) },
+		"Grating node":  func() { s.Grating(99, 0) },
+		"Grating up":    func() { s.Grating(0, 99) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

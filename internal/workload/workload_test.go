@@ -1,0 +1,279 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"sirius/internal/simtime"
+)
+
+func testConfig(flows int) Config {
+	return DefaultConfig(64, 400*simtime.Gbps, 0.5, flows)
+}
+
+func TestGenerateBasics(t *testing.T) {
+	flows, err := Generate(testConfig(5000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flows) != 5000 {
+		t.Fatalf("generated %d flows", len(flows))
+	}
+	var prev simtime.Time
+	for i, f := range flows {
+		if f.ID != i {
+			t.Fatalf("flow %d has ID %d", i, f.ID)
+		}
+		if f.Arrival < prev {
+			t.Fatal("arrivals not sorted")
+		}
+		prev = f.Arrival
+		if f.Src == f.Dst {
+			t.Fatalf("flow %d sends to itself", i)
+		}
+		if f.Src < 0 || f.Src >= 64 || f.Dst < 0 || f.Dst >= 64 {
+			t.Fatalf("flow %d endpoints out of range: %d->%d", i, f.Src, f.Dst)
+		}
+		if f.Bytes < 1 {
+			t.Fatalf("flow %d has %d bytes", i, f.Bytes)
+		}
+	}
+}
+
+func TestGenerateLoadCalibration(t *testing.T) {
+	// The realized offered rate (bytes/duration) should approximate
+	// L * N * R.
+	cfg := testConfig(30000)
+	flows, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := TotalBytes(flows)
+	dur := flows[len(flows)-1].Arrival.Seconds()
+	offered := float64(total) * 8 / dur
+	want := cfg.Load * float64(cfg.NodeRate) * float64(cfg.Nodes)
+	// Pareto(1.05) sample means converge extremely slowly (the tail index
+	// is barely above 1), so the realized rate sits well below nominal for
+	// any finite sample; allow a wide band and require the right order of
+	// magnitude.
+	if offered < want*0.2 || offered > want*1.5 {
+		t.Errorf("offered rate = %.3g bps, want ~%.3g", offered, want)
+	}
+}
+
+func TestGenerateHeavyTail(t *testing.T) {
+	flows, err := Generate(testConfig(30000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Most flows below the mean, most bytes in large flows.
+	small, smallBytes, total := 0, int64(0), TotalBytes(flows)
+	for _, f := range flows {
+		if f.Bytes < 100_000 {
+			small++
+			smallBytes += int64(f.Bytes)
+		}
+	}
+	if frac := float64(small) / float64(len(flows)); frac < 0.85 {
+		t.Errorf("small-flow fraction = %v, want > 0.85", frac)
+	}
+	if frac := float64(smallBytes) / float64(total); frac > 0.7 {
+		t.Errorf("small flows carry %v of bytes; tail should dominate", frac)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, _ := Generate(testConfig(100))
+	b, _ := Generate(testConfig(100))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different workloads")
+		}
+	}
+	cfg := testConfig(100)
+	cfg.Seed = 2
+	c, _ := Generate(cfg)
+	same := 0
+	for i := range a {
+		if a[i].Bytes == c[i].Bytes {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds produced identical workloads")
+	}
+}
+
+func TestPermutationPattern(t *testing.T) {
+	cfg := testConfig(2000)
+	cfg.Pattern = Permutation
+	flows, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dstOf := map[int]int{}
+	for _, f := range flows {
+		if prev, ok := dstOf[f.Src]; ok && prev != f.Dst {
+			t.Fatalf("source %d sends to both %d and %d", f.Src, prev, f.Dst)
+		}
+		dstOf[f.Src] = f.Dst
+		if f.Src == f.Dst {
+			t.Fatal("permutation has a fixed point")
+		}
+	}
+}
+
+func TestHotspotPattern(t *testing.T) {
+	cfg := testConfig(5000)
+	cfg.Pattern = Hotspot
+	cfg.HotFraction = 0.5
+	flows, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := 0
+	for _, f := range flows {
+		if f.Src == f.Dst {
+			t.Fatal("self flow")
+		}
+		if f.Dst == 0 {
+			hot++
+		}
+	}
+	frac := float64(hot) / float64(len(flows))
+	if frac < 0.4 || frac > 0.6 {
+		t.Errorf("hot fraction = %v, want ~0.5", frac)
+	}
+}
+
+func TestIncastPattern(t *testing.T) {
+	cfg := testConfig(500)
+	cfg.Pattern = Incast
+	flows, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range flows {
+		if f.Dst != 0 || f.Src == 0 {
+			t.Fatalf("incast flow %d->%d", f.Src, f.Dst)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.Nodes = 1 },
+		func(c *Config) { c.NodeRate = 0 },
+		func(c *Config) { c.Load = 0 },
+		func(c *Config) { c.Load = 1.5 },
+		func(c *Config) { c.MeanFlowBytes = 0 },
+		func(c *Config) { c.ParetoShape = 1.0 },
+		func(c *Config) { c.Flows = 0 },
+	}
+	for i, mutate := range bad {
+		cfg := testConfig(10)
+		mutate(&cfg)
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestPropertyEndpointsValid(t *testing.T) {
+	f := func(seed uint64, patRaw uint8) bool {
+		cfg := testConfig(200)
+		cfg.Seed = seed
+		cfg.Pattern = Pattern(patRaw % 4)
+		cfg.HotFraction = 0.3
+		flows, err := Generate(cfg)
+		if err != nil {
+			return false
+		}
+		for _, fl := range flows {
+			if fl.Src == fl.Dst || fl.Src < 0 || fl.Dst < 0 ||
+				fl.Src >= cfg.Nodes || fl.Dst >= cfg.Nodes || fl.Bytes < 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPacketMixQuantiles(t *testing.T) {
+	// §2.2: over 34% of packets under 128 B; 97.8% at or under 576 B.
+	m := NewPacketMix(1)
+	s := m.MeasureMix(200000)
+	if s.FracUnder128 < 0.33 || s.FracUnder128 > 0.36 {
+		t.Errorf("frac < 128B = %v, want ~0.345", s.FracUnder128)
+	}
+	if math.Abs(s.FracUpTo576-0.978) > 0.01 {
+		t.Errorf("frac <= 576B = %v, want ~0.978", s.FracUpTo576)
+	}
+	if s.MeanBytes < 64 || s.MeanBytes > 1500 {
+		t.Errorf("mean = %v bytes, implausible", s.MeanBytes)
+	}
+}
+
+func TestPacketMixRange(t *testing.T) {
+	m := NewPacketMix(2)
+	for i := 0; i < 100000; i++ {
+		s := m.Sample()
+		if s < 64 || s > 1500 {
+			t.Fatalf("packet size %d outside [64,1500]", s)
+		}
+	}
+}
+
+func TestTotalBytes(t *testing.T) {
+	flows := []Flow{{Bytes: 10}, {Bytes: 20}, {Bytes: 30}}
+	if TotalBytes(flows) != 60 {
+		t.Error("TotalBytes wrong")
+	}
+}
+
+func TestAllToAll(t *testing.T) {
+	flows, err := AllToAll(4, 1000, 2, simtime.Duration(10*simtime.Microsecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flows) != 2*4*3 {
+		t.Fatalf("flows = %d, want 24", len(flows))
+	}
+	seen := map[[3]int]bool{}
+	for i, f := range flows {
+		if f.ID != i || f.Src == f.Dst || f.Bytes != 1000 {
+			t.Fatalf("bad flow %+v", f)
+		}
+		wave := int(f.Arrival / simtime.Time(10*simtime.Microsecond))
+		key := [3]int{wave, f.Src, f.Dst}
+		if seen[key] {
+			t.Fatalf("duplicate pair %v", key)
+		}
+		seen[key] = true
+	}
+	if _, err := AllToAll(1, 1, 1, 0); err == nil {
+		t.Error("1-node all-to-all accepted")
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	flows, err := Broadcast(2, 5, 777, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flows) != 4 {
+		t.Fatalf("flows = %d", len(flows))
+	}
+	for _, f := range flows {
+		if f.Src != 2 || f.Dst == 2 || f.Bytes != 777 {
+			t.Fatalf("bad flow %+v", f)
+		}
+	}
+	if _, err := Broadcast(9, 5, 1, 0); err == nil {
+		t.Error("out-of-range source accepted")
+	}
+}

@@ -1,0 +1,131 @@
+package sirius
+
+// Long-running soak tests: skipped under -short, exercised by the full
+// `go test ./...` run. They stress the simulator with mixed adversarial
+// traffic for many epochs and check the global invariants survive.
+
+import (
+	"testing"
+
+	"sirius/internal/core"
+	"sirius/internal/phy"
+	"sirius/internal/schedule"
+	"sirius/internal/simtime"
+	"sirius/internal/wire"
+	"sirius/internal/workload"
+)
+
+func TestSoakMixedAdversarialTraffic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	const nodes = 32
+	sched, err := schedule.NewGrouped(nodes, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mix three workloads: uniform background, a hotspot barrage, and an
+	// all-to-all shuffle wave — arrivals interleaved.
+	base := workload.DefaultConfig(nodes, 200*simtime.Gbps, 0.5, 1500)
+	base.Seed = 101
+	uniform, err := workload.Generate(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := base
+	hot.Pattern = workload.Hotspot
+	hot.HotFraction = 0.6
+	hot.Flows = 800
+	hot.Seed = 102
+	hotspot, err := workload.Generate(hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shuffle, err := workload.AllToAll(nodes, 40_000, 2, 50*simtime.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flows []workload.Flow
+	flows = append(flows, uniform...)
+	flows = append(flows, hotspot...)
+	flows = append(flows, shuffle...)
+	// Re-sort and re-ID.
+	for i := 1; i < len(flows); i++ {
+		for j := i; j > 0 && flows[j].Arrival < flows[j-1].Arrival; j-- {
+			flows[j], flows[j-1] = flows[j-1], flows[j]
+		}
+	}
+	for i := range flows {
+		flows[i].ID = i
+	}
+
+	for _, mode := range []core.Mode{core.ModeRequestGrant, core.ModeIdeal} {
+		res, err := core.Run(core.Config{
+			Schedule:      sched,
+			Slot:          phy.DefaultSlot(),
+			Q:             4,
+			Mode:          mode,
+			NormalizeRate: 200 * simtime.Gbps,
+			TrackReorder:  true,
+			Seed:          7,
+		}, flows)
+		if err != nil {
+			t.Fatalf("mode %d: %v", mode, err)
+		}
+		if res.Completed != len(flows) {
+			t.Fatalf("mode %d: completed %d of %d", mode, res.Completed, len(flows))
+		}
+		if res.DeliveredBytes != workload.TotalBytes(flows) {
+			t.Fatalf("mode %d: byte conservation violated", mode)
+		}
+		// Queue bound: Q*k per (via,dst) aggregated over 31 destinations.
+		k := sched.ConnectionsPerEpoch()
+		bound := 4 * k * (nodes - 1) * phy.DefaultSlot().CellBytes
+		if res.PeakNodeQueueBytes > bound {
+			t.Fatalf("mode %d: node queue %d exceeded bound %d", mode,
+				res.PeakNodeQueueBytes, bound)
+		}
+	}
+}
+
+func TestSoakManySeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	// The invariants (delivery, conservation, bounded queues via internal
+	// panics) hold across many seeds.
+	for seed := uint64(1); seed <= 12; seed++ {
+		cfg := DefaultConfig(16)
+		cfg.Seed = seed
+		flows := Workload(cfg, 0.8, 300, seed)
+		rep, err := cfg.Run(flows)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if rep.Completed != len(flows) {
+			t.Fatalf("seed %d: completed %d of %d", seed, rep.Completed, len(flows))
+		}
+	}
+}
+
+func TestSoakPrototypeLongRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	// The paper demonstrates error-free operation over 24 hours; the
+	// scaled equivalent here is a long prototype run: 5,000 epochs of
+	// four nodes exchanging PRBS through the TCP AWGR — 80,000 cells,
+	// zero bit errors, zero misroutes.
+	st, err := wire.RunPrototype(4, 5_000, 64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.BER != 0 || !st.ErrFree {
+		t.Errorf("long run BER = %v", st.BER)
+	}
+	for _, n := range st.Nodes {
+		if n.Misrouted != 0 || n.Received != 20_000 {
+			t.Errorf("node %+v", n)
+		}
+	}
+}
