@@ -10,7 +10,12 @@
 package sirius
 
 import (
+	"context"
+	"encoding/json"
+	"os"
+	"runtime"
 	"testing"
+	"time"
 
 	"sirius/internal/core"
 	"sirius/internal/exp"
@@ -19,6 +24,7 @@ import (
 	"sirius/internal/phy"
 	"sirius/internal/schedule"
 	"sirius/internal/simtime"
+	"sirius/internal/sweep"
 	"sirius/internal/workload"
 )
 
@@ -107,7 +113,7 @@ func BenchmarkTimesync(b *testing.B) {
 func BenchmarkFig9Load(b *testing.B) {
 	s := exp.TinyScale()
 	for i := 0; i < b.N; i++ {
-		if _, err := exp.Fig9(s, []float64{0.25, 0.75}); err != nil {
+		if _, err := exp.Fig9(context.Background(), nil, s, []float64{0.25, 0.75}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -116,7 +122,7 @@ func BenchmarkFig9Load(b *testing.B) {
 func BenchmarkFig10Q(b *testing.B) {
 	s := exp.TinyScale()
 	for i := 0; i < b.N; i++ {
-		if _, err := exp.Fig10(s, []int{2, 4, 8, 16}, []float64{0.75}); err != nil {
+		if _, err := exp.Fig10(context.Background(), nil, s, []int{2, 4, 8, 16}, []float64{0.75}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -125,7 +131,7 @@ func BenchmarkFig10Q(b *testing.B) {
 func BenchmarkFig11Guardband(b *testing.B) {
 	s := exp.TinyScale()
 	for i := 0; i < b.N; i++ {
-		if _, err := exp.Fig11(s, []float64{1, 5, 10, 20, 40}); err != nil {
+		if _, err := exp.Fig11(context.Background(), nil, s, []float64{1, 5, 10, 20, 40}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -134,7 +140,7 @@ func BenchmarkFig11Guardband(b *testing.B) {
 func BenchmarkFig12Uplinks(b *testing.B) {
 	s := exp.TinyScale()
 	for i := 0; i < b.N; i++ {
-		if _, err := exp.Fig12(s, []float64{1, 1.5, 2}, []float64{0.75}); err != nil {
+		if _, err := exp.Fig12(context.Background(), nil, s, []float64{1, 1.5, 2}, []float64{0.75}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -143,7 +149,7 @@ func BenchmarkFig12Uplinks(b *testing.B) {
 func BenchmarkFig13FlowSize(b *testing.B) {
 	s := exp.TinyScale()
 	for i := 0; i < b.N; i++ {
-		if _, err := exp.Fig13(s, []float64{512, 4096, 65536}, 0.6); err != nil {
+		if _, err := exp.Fig13(context.Background(), nil, s, []float64{512, 4096, 65536}, 0.6); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -324,7 +330,7 @@ func BenchmarkPublicAPIEndToEnd(b *testing.B) {
 func BenchmarkFailureRecovery(b *testing.B) {
 	s := exp.TinyScale()
 	for i := 0; i < b.N; i++ {
-		if _, err := exp.Failure(s, []int{0, 2}); err != nil {
+		if _, err := exp.Failure(context.Background(), nil, s, []int{0, 2}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -338,7 +344,86 @@ func BenchmarkAblationDirectOnly(b *testing.B) {
 func BenchmarkServerLevel(b *testing.B) {
 	s := exp.TinyScale()
 	for i := 0; i < b.N; i++ {
-		if _, err := exp.ServerLevel(s, 4, []float64{0.5}); err != nil {
+		if _, err := exp.ServerLevel(context.Background(), nil, s, 4, []float64{0.5}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- The sweep engine (internal/sweep) ----
+
+// BenchmarkSweepParallel measures the fig9 sweep on the parallel engine
+// (GOMAXPROCS workers, no cache) and, once per run, times a serial
+// reference sweep to report the speedup — both as benchmark metrics and
+// as BENCH_sweep.json, seeding the repo's performance trajectory.
+func BenchmarkSweepParallel(b *testing.B) {
+	s := exp.TinyScale()
+	loads := []float64{0.1, 0.25, 0.5, 0.75, 0.9, 1.0}
+	workers := runtime.GOMAXPROCS(0)
+	measure := func(parallel int) time.Duration {
+		start := time.Now()
+		rn := &sweep.Runner{Parallel: parallel, RootSeed: s.Seed}
+		if _, err := exp.Fig9(context.Background(), rn, s, loads); err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(start)
+	}
+
+	// One serial/parallel pair outside the timed loop for the JSON record.
+	serial := measure(1)
+	parallel := measure(workers)
+	speedup := float64(serial) / float64(parallel)
+	b.ReportMetric(speedup, "speedup")
+	data, err := json.MarshalIndent(map[string]interface{}{
+		"benchmark":   "BenchmarkSweepParallel",
+		"sweep":       "fig9/tiny",
+		"points":      len(loads),
+		"workers":     workers,
+		"serial_ns":   serial.Nanoseconds(),
+		"parallel_ns": parallel.Nanoseconds(),
+		"speedup":     speedup,
+	}, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_sweep.json", append(data, '\n'), 0o644); err != nil {
+		b.Logf("BENCH_sweep.json not written: %v", err)
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		measure(workers)
+	}
+}
+
+// BenchmarkSweepSerial is the 1-worker reference for BenchmarkSweepParallel.
+func BenchmarkSweepSerial(b *testing.B) {
+	s := exp.TinyScale()
+	loads := []float64{0.1, 0.25, 0.5, 0.75, 0.9, 1.0}
+	for i := 0; i < b.N; i++ {
+		rn := &sweep.Runner{Parallel: 1, RootSeed: s.Seed}
+		if _, err := exp.Fig9(context.Background(), rn, s, loads); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepCacheWarm measures replaying a fully memoized sweep —
+// the steady-state cost of `-exp all` after the first run.
+func BenchmarkSweepCacheWarm(b *testing.B) {
+	s := exp.TinyScale()
+	loads := []float64{0.25, 0.75}
+	cache, err := sweep.OpenCache(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rn := &sweep.Runner{Parallel: 1, RootSeed: s.Seed, Cache: cache}
+	if _, err := exp.Fig9(context.Background(), rn, s, loads); err != nil {
+		b.Fatal(err) // cold fill
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Fig9(context.Background(), rn, s, loads); err != nil {
 			b.Fatal(err)
 		}
 	}

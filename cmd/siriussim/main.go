@@ -3,34 +3,65 @@
 // Usage:
 //
 //	siriussim -exp fig9 [-scale small|paper|tiny] [-loads 0.1,0.5,1.0]
-//	siriussim -exp all
+//	siriussim -exp all [-parallel N] [-seed S] [-cache=false]
 //
 // Experiments: fig2a fig6a fig6b tuning lasers fig8a fig8b fig8c fig8d
 // timesync budget burst proto fig9 fig10 fig11 fig12 fig13 failure
 // servers ablation custom (with -trace).
+//
+// The sweep-shaped experiments (fig9–fig13, failure, servers, ablation)
+// run on the internal/sweep engine: grid points execute on a bounded
+// worker pool (-parallel, default GOMAXPROCS) with deterministic
+// per-point RNG substreams, so -parallel N output is byte-identical to
+// -parallel 1 for the same -seed. Completed points are memoized under
+// -cachedir (default results/cache); re-runs replay them unless
+// -cache=false. Every invocation writes a machine-readable run manifest
+// (-manifest, default results/run_manifest.json) with per-point config
+// hashes and wall times — including on SIGINT, which cancels in-flight
+// workers and flushes whatever completed.
+//
+// -exp all runs every experiment even if some fail: per-experiment
+// errors go to stderr and the exit status is non-zero iff any failed.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"sirius/internal/exp"
+	"sirius/internal/sweep"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("siriussim", flag.ExitOnError)
 	var (
-		name   = flag.String("exp", "all", "experiment id (see package doc; \"all\" runs everything)")
-		scale  = flag.String("scale", "small", "network-simulation scale: tiny, small, paper")
-		loads  = flag.String("loads", "0.10,0.25,0.50,0.75,1.00", "comma-separated load points")
-		epochs = flag.Int("epochs", 50_000, "epochs for the timesync experiment")
-		format = flag.String("format", "text", "output format: text, csv, json")
-		trace  = flag.String("trace", "", "flow-trace CSV for -exp custom (arrival_ns,src,dst,bytes)")
-		ports  = flag.Int("ports", 8, "grating ports for -exp custom")
+		name     = fs.String("exp", "all", "experiment id (see package doc; \"all\" runs everything)")
+		scale    = fs.String("scale", "small", "network-simulation scale: tiny, small, paper")
+		loads    = fs.String("loads", "0.10,0.25,0.50,0.75,1.00", "comma-separated load points")
+		epochs   = fs.Int("epochs", 50_000, "epochs for the timesync experiment")
+		format   = fs.String("format", "text", "output format: text, csv, json")
+		trace    = fs.String("trace", "", "flow-trace CSV for -exp custom (arrival_ns,src,dst,bytes)")
+		ports    = fs.Int("ports", 8, "grating ports for -exp custom")
+		parallel = fs.Int("parallel", 0, "sweep worker count (0 = GOMAXPROCS, 1 = serial)")
+		seed     = fs.Uint64("seed", 0, "root seed for the sweeps (0 = the scale's default seed)")
+		useCache = fs.Bool("cache", true, "memoize completed sweep points on disk")
+		cacheDir = fs.String("cachedir", "results/cache", "sweep point cache directory")
+		manifest = fs.String("manifest", "results/run_manifest.json", "run manifest path (empty disables)")
+		progress = fs.Bool("progress", false, "stream per-point sweep progress and ETA to stderr")
 	)
-	flag.Parse()
+	fs.Parse(args)
 
 	var sc exp.Scale
 	switch *scale {
@@ -42,12 +73,34 @@ func main() {
 		sc = exp.PaperScale()
 	default:
 		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
-		os.Exit(2)
+		return 2
+	}
+	if *seed != 0 {
+		sc.Seed = *seed
 	}
 	loadList, err := parseFloats(*loads)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bad -loads: %v\n", err)
-		os.Exit(2)
+		return 2
+	}
+
+	// SIGINT/SIGTERM cancel the sweep context: in-flight simulation
+	// workers abort at their next epoch boundary, completed tables have
+	// already been printed, and the manifest below is still flushed.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	runner := &sweep.Runner{Parallel: *parallel, RootSeed: sc.Seed}
+	if *progress {
+		runner.Progress = os.Stderr
+	}
+	if *useCache {
+		cache, err := sweep.OpenCache(*cacheDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cache disabled: %v\n", err)
+		} else {
+			runner.Cache = cache
+		}
 	}
 
 	runners := map[string]func() (*exp.Table, error){
@@ -64,33 +117,33 @@ func main() {
 		"budget":   func() (*exp.Table, error) { return exp.LinkBudget(), nil },
 		"burst":    func() (*exp.Table, error) { return exp.Burst(), nil },
 		"proto":    func() (*exp.Table, error) { return exp.Prototype(4, 200) },
-		"fig9":     func() (*exp.Table, error) { return exp.Fig9(sc, loadList) },
+		"fig9":     func() (*exp.Table, error) { return exp.Fig9(ctx, runner, sc, loadList) },
 		"fig10": func() (*exp.Table, error) {
-			return exp.Fig10(sc, []int{2, 4, 8, 16}, loadList)
+			return exp.Fig10(ctx, runner, sc, []int{2, 4, 8, 16}, loadList)
 		},
 		"fig11": func() (*exp.Table, error) {
-			return exp.Fig11(sc, []float64{1, 5, 10, 20, 40})
+			return exp.Fig11(ctx, runner, sc, []float64{1, 5, 10, 20, 40})
 		},
 		"fig12": func() (*exp.Table, error) {
-			return exp.Fig12(sc, []float64{1, 1.5, 2}, loadList)
+			return exp.Fig12(ctx, runner, sc, []float64{1, 1.5, 2}, loadList)
 		},
 		"fig13": func() (*exp.Table, error) {
-			return exp.Fig13(sc, []float64{512, 1024, 2048, 4096, 16384, 32768, 65536, 100_000}, 0.75)
+			return exp.Fig13(ctx, runner, sc, []float64{512, 1024, 2048, 4096, 16384, 32768, 65536, 100_000}, 0.75)
 		},
 		"failure": func() (*exp.Table, error) {
-			return exp.Failure(sc, []int{0, 1, 4, 8})
+			return exp.Failure(ctx, runner, sc, []int{0, 1, 4, 8})
 		},
 		"servers": func() (*exp.Table, error) {
-			return exp.ServerLevel(sc, 8, loadList)
+			return exp.ServerLevel(ctx, runner, sc, 8, loadList)
 		},
 		"ablation": func() (*exp.Table, error) {
-			return exp.Ablation(sc, 0.75)
+			return exp.Ablation(ctx, runner, sc, 0.75)
 		},
 		"custom": func() (*exp.Table, error) {
 			if *trace == "" {
 				return nil, fmt.Errorf("-exp custom needs -trace <file.csv>")
 			}
-			return exp.FromTraceFile(*trace, *ports, 1)
+			return exp.FromTraceFile(ctx, *trace, *ports, 1)
 		},
 	}
 
@@ -98,16 +151,26 @@ func main() {
 		"fig8c", "fig8d", "timesync", "budget", "burst", "proto",
 		"fig9", "fig10", "fig11", "fig12", "fig13", "failure", "servers", "ablation"}
 
-	run := func(id string) {
+	started := time.Now()
+	var failures []string
+	fail := func(id string, err error) {
+		failures = append(failures, fmt.Sprintf("%s: %v", id, err))
+		fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+	}
+
+	// runOne executes one experiment and prints its table immediately, so
+	// an interrupted or partially failing -exp all still emits everything
+	// that completed.
+	runOne := func(id string) {
 		r, ok := runners[id]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", id)
-			os.Exit(2)
+			fail(id, fmt.Errorf("unknown experiment"))
+			return
 		}
 		tab, err := r()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
-			os.Exit(1)
+			fail(id, err)
+			return
 		}
 		switch *format {
 		case "text":
@@ -117,22 +180,57 @@ func main() {
 		case "json":
 			err = tab.JSON(os.Stdout)
 		default:
-			fmt.Fprintf(os.Stderr, "unknown format %q\n", *format)
-			os.Exit(2)
+			err = fmt.Errorf("unknown format %q", *format)
 		}
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
-			os.Exit(1)
+			fail(id, err)
 		}
 	}
 
 	if *name == "all" {
 		for _, id := range order {
-			run(id)
+			if ctx.Err() != nil {
+				fail(id, ctx.Err()) // interrupted: record the rest as skipped
+				continue
+			}
+			runOne(id)
 		}
-		return
+	} else if _, ok := runners[*name]; !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *name)
+		return 2
+	} else {
+		runOne(*name)
 	}
-	run(*name)
+
+	// Flush the run manifest — also on failure or SIGINT, so every point
+	// that did complete is accounted (and cached for the next run).
+	if *manifest != "" {
+		m := &sweep.RunManifest{
+			Command:    "siriussim " + strings.Join(args, " "),
+			StartedAt:  started,
+			FinishedAt: time.Now(),
+			WallNS:     time.Since(started).Nanoseconds(),
+			Parallel:   *parallel,
+			RootSeed:   sc.Seed,
+			Sweeps:     runner.Manifests(),
+			Errors:     failures,
+		}
+		if runner.Cache != nil {
+			m.Cache = runner.Cache.Dir()
+		}
+		if err := m.WriteFile(*manifest); err != nil {
+			fmt.Fprintf(os.Stderr, "manifest: %v\n", err)
+		}
+	}
+
+	if len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "%d experiment(s) failed\n", len(failures))
+		if errors.Is(ctx.Err(), context.Canceled) {
+			fmt.Fprintln(os.Stderr, "interrupted: completed tables and the manifest were flushed")
+		}
+		return 1
+	}
+	return 0
 }
 
 func parseFloats(s string) ([]float64, error) {

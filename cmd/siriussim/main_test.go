@@ -1,6 +1,14 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sirius/internal/sweep"
+)
 
 func TestParseFloats(t *testing.T) {
 	got, err := parseFloats("0.1, 0.5,1.0")
@@ -18,5 +26,117 @@ func TestParseFloats(t *testing.T) {
 	}
 	if _, err := parseFloats(" , ,"); err == nil {
 		t.Error("blank list accepted")
+	}
+}
+
+// captureRun runs the CLI with stdout redirected and returns (output, exit code).
+func captureRun(t *testing.T, args ...string) (string, int) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	code := run(args)
+	w.Close()
+	os.Stdout = old
+	buf := make([]byte, 0, 1<<16)
+	tmp := make([]byte, 4096)
+	for {
+		n, rerr := r.Read(tmp)
+		buf = append(buf, tmp[:n]...)
+		if rerr != nil {
+			break
+		}
+	}
+	return string(buf), code
+}
+
+func TestRunUnknownExperimentAndScale(t *testing.T) {
+	if _, code := captureRun(t, "-exp", "nope", "-manifest", ""); code != 2 {
+		t.Errorf("unknown experiment exit = %d, want 2", code)
+	}
+	if _, code := captureRun(t, "-scale", "galactic", "-manifest", ""); code != 2 {
+		t.Errorf("unknown scale exit = %d, want 2", code)
+	}
+}
+
+func TestRunSerialParallelIdentical(t *testing.T) {
+	dir := t.TempDir()
+	common := []string{"-exp", "fig9", "-scale", "tiny", "-loads", "0.25,0.75",
+		"-cache=false", "-manifest", filepath.Join(dir, "m.json")}
+	serial, code := captureRun(t, append([]string{"-parallel", "1"}, common...)...)
+	if code != 0 {
+		t.Fatalf("serial exit = %d", code)
+	}
+	par, code := captureRun(t, append([]string{"-parallel", "4"}, common...)...)
+	if code != 0 {
+		t.Fatalf("parallel exit = %d", code)
+	}
+	if serial != par {
+		t.Fatalf("-parallel 4 output differs from -parallel 1:\n%s\nvs\n%s", serial, par)
+	}
+	if !strings.Contains(serial, "Fig 9") {
+		t.Fatalf("missing table:\n%s", serial)
+	}
+	// The manifest landed and carries the sweep record.
+	data, err := os.ReadFile(filepath.Join(dir, "m.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m sweep.RunManifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Sweeps) != 1 || m.Sweeps[0].Name != "fig9" || len(m.Sweeps[0].Points) != 2 {
+		t.Fatalf("manifest sweeps = %+v", m.Sweeps)
+	}
+}
+
+func TestRunWarmCacheReplays(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-exp", "fig10", "-scale", "tiny", "-loads", "0.5",
+		"-parallel", "2", "-cachedir", filepath.Join(dir, "cache"),
+		"-manifest", filepath.Join(dir, "m.json")}
+	cold, code := captureRun(t, args...)
+	if code != 0 {
+		t.Fatalf("cold exit = %d", code)
+	}
+	warm, code := captureRun(t, args...)
+	if code != 0 {
+		t.Fatalf("warm exit = %d", code)
+	}
+	if cold != warm {
+		t.Fatal("warm-cache output differs from cold output")
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "m.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m sweep.RunManifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Sweeps) != 1 || m.Sweeps[0].CacheHit != len(m.Sweeps[0].Points) {
+		t.Fatalf("warm run not fully cached: %+v", m.Sweeps)
+	}
+}
+
+func TestRunFailureStillWritesManifest(t *testing.T) {
+	dir := t.TempDir()
+	manifest := filepath.Join(dir, "m.json")
+	// -exp custom without -trace fails; the manifest must still flush and
+	// the exit code must be non-zero.
+	_, code := captureRun(t, "-exp", "custom", "-cache=false", "-manifest", manifest)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	data, err := os.ReadFile(manifest)
+	if err != nil {
+		t.Fatalf("manifest not written: %v", err)
+	}
+	if !strings.Contains(string(data), "custom") {
+		t.Errorf("manifest does not record the failure:\n%s", data)
 	}
 }

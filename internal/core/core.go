@@ -26,6 +26,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"sirius/internal/cell"
@@ -158,6 +159,7 @@ type Results struct {
 
 // sim is the run state.
 type sim struct {
+	ctx     context.Context
 	cfg     Config
 	n       int
 	uplinks int
@@ -239,6 +241,14 @@ type sim struct {
 
 // Run simulates the given flows to completion and returns the results.
 func Run(cfg Config, flows []workload.Flow) (*Results, error) {
+	return RunContext(context.Background(), cfg, flows)
+}
+
+// RunContext is Run with cancellation: the slot loop polls ctx at every
+// epoch boundary (cheap — an epoch is N slots) and returns ctx.Err() when
+// the context is done, so the experiment-sweep engine can abort workers
+// on SIGINT without waiting for a full simulation to drain.
+func RunContext(ctx context.Context, cfg Config, flows []workload.Flow) (*Results, error) {
 	if cfg.Schedule == nil {
 		return nil, fmt.Errorf("core: nil schedule")
 	}
@@ -276,6 +286,7 @@ func Run(cfg Config, flows []workload.Flow) (*Results, error) {
 	}
 
 	s := &sim{
+		ctx:     ctx,
 		cfg:     cfg,
 		n:       n,
 		uplinks: cfg.Schedule.Uplinks(),
@@ -379,6 +390,9 @@ func (s *sim) run() (*Results, error) {
 
 		e := int(slot % int64(s.epochE))
 		if e == 0 {
+			if err := s.ctx.Err(); err != nil {
+				return nil, err
+			}
 			if s.out == 0 {
 				quiescent++
 			} else {

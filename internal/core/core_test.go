@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"testing"
 	"testing/quick"
 
@@ -749,5 +751,32 @@ func TestIdealModeWithInjectRate(t *testing.T) {
 	}
 	if res.Completed != len(flows) {
 		t.Fatalf("completed %d of %d", res.Completed, len(flows))
+	}
+}
+
+func TestRunContextCancel(t *testing.T) {
+	cfg := testConfig(t, 16, 4, 1)
+	flows := genFlows(t, 16, 2000, 0.9, 1)
+
+	// Already-cancelled context: the run aborts at the first epoch
+	// boundary and reports the context error.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunContext(ctx, cfg, flows); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled run returned %v, want context.Canceled", err)
+	}
+
+	// A live context behaves exactly like Run.
+	want, err := Run(cfg, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunContext(context.Background(), cfg, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Completed != want.Completed || got.DeliveredBytes != want.DeliveredBytes ||
+		got.Slots != want.Slots {
+		t.Errorf("RunContext diverged from Run: %+v vs %+v", got, want)
 	}
 }

@@ -20,6 +20,7 @@
 package dc
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -97,6 +98,12 @@ type Results struct {
 
 // Run simulates server-level flows to completion.
 func Run(cfg Config, flows []workload.Flow) (*Results, error) {
+	return RunContext(context.Background(), cfg, flows)
+}
+
+// RunContext is Run with cancellation, forwarded to the underlying fluid
+// (intra-rack) and core (inter-rack fabric) simulations.
+func RunContext(ctx context.Context, cfg Config, flows []workload.Flow) (*Results, error) {
 	switch {
 	case cfg.Racks < 2 || cfg.ServersPerRack < 1:
 		return nil, fmt.Errorf("dc: need >= 2 racks and >= 1 server per rack")
@@ -169,7 +176,7 @@ func Run(cfg Config, flows []workload.Flow) (*Results, error) {
 		if len(fl) == 0 {
 			continue
 		}
-		r, err := fluid.Run(fluid.Config{
+		r, err := fluid.RunContext(ctx, fluid.Config{
 			Endpoints:    cfg.ServersPerRack,
 			EndpointRate: cfg.ServerRate,
 			Oversub:      1,
@@ -208,7 +215,7 @@ func Run(cfg Config, flows []workload.Flow) (*Results, error) {
 		if injectRate < 1 {
 			injectRate = 1
 		}
-		cres, err := core.Run(core.Config{
+		cres, err := core.RunContext(ctx, core.Config{
 			Schedule:      sched,
 			Slot:          cfg.Slot,
 			Q:             cfg.Q,

@@ -1,22 +1,25 @@
 package exp
 
 import (
+	"context"
+	"fmt"
+
 	"sirius/internal/core"
+	"sirius/internal/sweep"
 )
 
 // Ablation prices the design choices of DESIGN.md §5 on one workload:
 // the request/grant protocol against its oracle variants, the direct-path
-// shortcut, and routing disciplines.
-func Ablation(s Scale, load float64) (*Table, error) {
+// shortcut, and routing disciplines. Each variant is one sweep point —
+// they execute in parallel on the runner's pool — but every variant keeps
+// the scale seed for both the workload and the simulator, because a fair
+// ablation must change exactly one knob and share all randomness.
+func Ablation(ctx context.Context, rn *sweep.Runner, s Scale, load float64) (*Table, error) {
 	t := &Table{
 		Title: "ablations: pricing the design choices",
 		Note: "each row changes exactly one thing relative to SIRIUS " +
 			"(request/grant, piggybacked control, direct path allowed, VLB)",
 		Header: []string{"variant", "goodput", "short_p99_fct_ms", "direct_frac"},
-	}
-	flows, err := s.flows(load, 100e3, s.Seed)
-	if err != nil {
-		return nil, err
 	}
 	variants := []struct {
 		name   string
@@ -28,12 +31,27 @@ func Ablation(s Scale, load float64) (*Table, error) {
 		{"oracle back-pressure", func(o *siriusOpts, c *core.Config) { c.Mode = core.ModeIdeal }},
 		{"direct-only (no VLB)", func(o *siriusOpts, c *core.Config) { c.Mode = core.ModeDirect }},
 	}
-	for _, v := range variants {
-		res, err := s.runSiriusMutated(flows, v.mutate)
-		if err != nil {
-			return nil, err
+	pts := make([]sweep.Point, len(variants))
+	for i, v := range variants {
+		v := v
+		pts[i] = sweep.Point{
+			Key: fmt.Sprintf("ablation|%s|load=%g|variant=%s", s.keyID(), load, v.name),
+			Run: func(ctx context.Context, _ uint64) ([][]string, error) {
+				flows, err := s.flows(load, 100e3, s.Seed)
+				if err != nil {
+					return nil, err
+				}
+				res, err := s.runSiriusMutated(ctx, flows, v.mutate)
+				if err != nil {
+					return nil, err
+				}
+				return [][]string{row(v.name, res.GoodputNorm,
+					fmtMS(p99OrNaN(&res.FCTShort)), res.DirectFraction)}, nil
+			},
 		}
-		t.Add(v.name, res.GoodputNorm, fmtMS(p99OrNaN(&res.FCTShort)), res.DirectFraction)
+	}
+	if err := t.collect(runOn(ctx, rn, s, "ablation", pts)); err != nil {
+		return nil, err
 	}
 	return t, nil
 }

@@ -20,18 +20,24 @@ type Table struct {
 	Rows   [][]string
 }
 
-// Add appends a row, formatting each cell with %v.
-func (t *Table) Add(cells ...interface{}) {
-	row := make([]string, len(cells))
+// row formats cells the way Add does; sweep points use it to build rows
+// off the table so parallel workers never share the table itself.
+func row(cells ...interface{}) []string {
+	out := make([]string, len(cells))
 	for i, c := range cells {
 		switch v := c.(type) {
 		case float64:
-			row[i] = fmt.Sprintf("%.4g", v)
+			out[i] = fmt.Sprintf("%.4g", v)
 		default:
-			row[i] = fmt.Sprintf("%v", c)
+			out[i] = fmt.Sprintf("%v", c)
 		}
 	}
-	t.Rows = append(t.Rows, row)
+	return out
+}
+
+// Add appends a row, formatting each cell with %v.
+func (t *Table) Add(cells ...interface{}) {
+	t.Rows = append(t.Rows, row(cells...))
 }
 
 // Fprint renders the table.

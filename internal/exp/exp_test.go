@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"os"
 	"strconv"
 	"strings"
@@ -146,7 +147,7 @@ func TestPrototypeTable(t *testing.T) {
 
 func TestFig9Shapes(t *testing.T) {
 	s := TinyScale()
-	tab, err := Fig9(s, []float64{0.25, 0.75})
+	tab, err := Fig9(context.Background(), nil, s, []float64{0.25, 0.75})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,7 +177,7 @@ func TestFig9Shapes(t *testing.T) {
 
 func TestFig10Shapes(t *testing.T) {
 	s := TinyScale()
-	tab, err := Fig10(s, []int{2, 16}, []float64{0.75})
+	tab, err := Fig10(context.Background(), nil, s, []int{2, 16}, []float64{0.75})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,7 +192,7 @@ func TestFig10Shapes(t *testing.T) {
 
 func TestFig11Shapes(t *testing.T) {
 	s := TinyScale()
-	tab, err := Fig11(s, []float64{5, 40})
+	tab, err := Fig11(context.Background(), nil, s, []float64{5, 40})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,7 +204,7 @@ func TestFig11Shapes(t *testing.T) {
 
 func TestFig12Shapes(t *testing.T) {
 	s := TinyScale()
-	tab, err := Fig12(s, []float64{1, 2}, []float64{0.9})
+	tab, err := Fig12(context.Background(), nil, s, []float64{1, 2}, []float64{0.9})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,7 +216,7 @@ func TestFig12Shapes(t *testing.T) {
 
 func TestFig13Shapes(t *testing.T) {
 	s := TinyScale()
-	tab, err := Fig13(s, []float64{512, 65536}, 0.6)
+	tab, err := Fig13(context.Background(), nil, s, []float64{512, 65536}, 0.6)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -227,7 +228,7 @@ func TestFig13Shapes(t *testing.T) {
 
 func TestFailureExperiment(t *testing.T) {
 	s := TinyScale()
-	tab, err := Failure(s, []int{0, 2})
+	tab, err := Failure(context.Background(), nil, s, []int{0, 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -276,7 +277,7 @@ func TestTableCSVAndJSON(t *testing.T) {
 
 func TestServerLevelExperiment(t *testing.T) {
 	s := TinyScale()
-	tab, err := ServerLevel(s, 4, []float64{0.5})
+	tab, err := ServerLevel(context.Background(), nil, s, 4, []float64{0.5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -297,7 +298,7 @@ func TestFromTrace(t *testing.T) {
 		{Src: 3, Dst: 9, Bytes: 2_000, Arrival: simtime.Time(100 * simtime.Nanosecond)},
 		{Src: 7, Dst: 2, Bytes: 120_000, Arrival: simtime.Time(50 * simtime.Nanosecond)},
 	}
-	tab, err := FromTrace(flows, 4, 1)
+	tab, err := FromTrace(context.Background(), flows, 4, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -309,13 +310,13 @@ func TestFromTrace(t *testing.T) {
 			t.Errorf("system %s completed %s of 3", row[0], row[1])
 		}
 	}
-	if _, err := FromTrace(nil, 4, 1); err == nil {
+	if _, err := FromTrace(context.Background(), nil, 4, 1); err == nil {
 		t.Error("empty trace accepted")
 	}
 }
 
 func TestAblationTable(t *testing.T) {
-	tab, err := Ablation(TinyScale(), 0.75)
+	tab, err := Ablation(context.Background(), nil, TinyScale(), 0.75)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -362,14 +363,14 @@ func TestFromTraceFile(t *testing.T) {
 	}
 	f.WriteString("arrival_ns,src,dst,bytes\n0,0,3,5000\n100,2,7,900\n")
 	f.Close()
-	tab, err := FromTraceFile(f.Name(), 4, 1)
+	tab, err := FromTraceFile(context.Background(), f.Name(), 4, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(tab.Rows) != 4 {
 		t.Fatalf("rows = %d", len(tab.Rows))
 	}
-	if _, err := FromTraceFile("/nonexistent.csv", 4, 1); err == nil {
+	if _, err := FromTraceFile(context.Background(), "/nonexistent.csv", 4, 1); err == nil {
 		t.Error("missing file accepted")
 	}
 }

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -9,6 +10,7 @@ import (
 	"sirius/internal/phy"
 	"sirius/internal/schedule"
 	"sirius/internal/simtime"
+	"sirius/internal/sweep"
 	"sirius/internal/workload"
 )
 
@@ -40,14 +42,14 @@ func defaultOpts() siriusOpts {
 }
 
 // runSirius runs the slot-level simulator at this scale.
-func (s Scale) runSirius(flows []workload.Flow, o siriusOpts) (*core.Results, error) {
-	return s.runSiriusMutated(flows, func(opts *siriusOpts, c *core.Config) { *opts = o })
+func (s Scale) runSirius(ctx context.Context, flows []workload.Flow, o siriusOpts) (*core.Results, error) {
+	return s.runSiriusMutated(ctx, flows, func(opts *siriusOpts, c *core.Config) { *opts = o })
 }
 
 // runSiriusMutated builds the default configuration, lets the caller
 // tweak it (both the high-level options and the raw core config), and
-// runs the simulator.
-func (s Scale) runSiriusMutated(flows []workload.Flow, mutate func(*siriusOpts, *core.Config)) (*core.Results, error) {
+// runs the simulator under ctx.
+func (s Scale) runSiriusMutated(ctx context.Context, flows []workload.Flow, mutate func(*siriusOpts, *core.Config)) (*core.Results, error) {
 	o := defaultOpts()
 	cfg := core.Config{
 		NormalizeRate: s.nodeRate(),
@@ -73,14 +75,14 @@ func (s Scale) runSiriusMutated(flows []workload.Flow, mutate func(*siriusOpts, 
 		cfg.Mode = o.mode
 	}
 	cfg.TrackReorder = cfg.TrackReorder || o.trackReorder
-	return core.Run(cfg, flows)
+	return core.RunContext(ctx, cfg, flows)
 }
 
 // runESN runs the idealized electrically-switched baseline. The fluid
 // model itself has no latency floor, so it is charged a base RTT for the
 // Clos path (multiple store-and-forward switch hops plus propagation),
 // comparable to the paper's ESN (Ideal) FCT floor of ~1 us.
-func (s Scale) runESN(flows []workload.Flow, oversub int) (*fluid.Results, error) {
+func (s Scale) runESN(ctx context.Context, flows []workload.Flow, oversub int) (*fluid.Results, error) {
 	cfg := fluid.Config{
 		Endpoints:    s.Racks,
 		EndpointRate: s.nodeRate(),
@@ -90,7 +92,7 @@ func (s Scale) runESN(flows []workload.Flow, oversub int) (*fluid.Results, error
 	if oversub > 1 {
 		cfg.EndpointsPerRack = s.GratingPorts // aggregation pods
 	}
-	return fluid.Run(cfg, flows)
+	return fluid.RunContext(ctx, cfg, flows)
 }
 
 func fmtMS(v float64) string {
@@ -102,8 +104,8 @@ func fmtMS(v float64) string {
 
 // Fig9 reproduces the load sweep: 99th-percentile short-flow FCT and
 // normalized goodput for SIRIUS, SIRIUS (IDEAL), ESN (Ideal) and
-// ESN-OSUB (Ideal).
-func Fig9(s Scale, loads []float64) (*Table, error) {
+// ESN-OSUB (Ideal). One sweep point per load; rn == nil runs serially.
+func Fig9(ctx context.Context, rn *sweep.Runner, s Scale, loads []float64) (*Table, error) {
 	t := &Table{
 		Title: "Fig 9: short-flow p99 FCT (ms) and normalized goodput vs load",
 		Note: "paper shape: Sirius ~= ESN (Ideal); ESN-OSUB much worse; " +
@@ -112,40 +114,52 @@ func Fig9(s Scale, loads []float64) (*Table, error) {
 			"sirius_fct", "siriusIdeal_fct", "esn_fct", "osub_fct",
 			"sirius_gput", "siriusIdeal_gput", "esn_gput", "osub_gput"},
 	}
-	for _, load := range loads {
-		flows, err := s.flows(load, 100e3, s.Seed)
-		if err != nil {
-			return nil, err
+	pts := make([]sweep.Point, len(loads))
+	for i, load := range loads {
+		load := load
+		pts[i] = sweep.Point{
+			Key: fmt.Sprintf("fig9|%s|load=%g|mean=%g", s.keyID(), load, 100e3),
+			Run: func(ctx context.Context, seed uint64) ([][]string, error) {
+				flows, err := s.flows(load, 100e3, s.Seed)
+				if err != nil {
+					return nil, err
+				}
+				sp := s.withSeed(seed)
+				sir, err := sp.runSirius(ctx, flows, defaultOpts())
+				if err != nil {
+					return nil, err
+				}
+				io := defaultOpts()
+				io.mode = core.ModeIdeal
+				ideal, err := sp.runSirius(ctx, flows, io)
+				if err != nil {
+					return nil, err
+				}
+				esn, err := sp.runESN(ctx, flows, 1)
+				if err != nil {
+					return nil, err
+				}
+				osub, err := sp.runESN(ctx, flows, 3)
+				if err != nil {
+					return nil, err
+				}
+				return [][]string{row(load,
+					fmtMS(sir.FCTShort.Percentile(99)), fmtMS(ideal.FCTShort.Percentile(99)),
+					fmtMS(esn.FCTShort.Percentile(99)), fmtMS(osub.FCTShort.Percentile(99)),
+					sir.GoodputNorm, ideal.GoodputNorm, esn.GoodputNorm, osub.GoodputNorm)}, nil
+			},
 		}
-		sir, err := s.runSirius(flows, defaultOpts())
-		if err != nil {
-			return nil, err
-		}
-		io := defaultOpts()
-		io.mode = core.ModeIdeal
-		ideal, err := s.runSirius(flows, io)
-		if err != nil {
-			return nil, err
-		}
-		esn, err := s.runESN(flows, 1)
-		if err != nil {
-			return nil, err
-		}
-		osub, err := s.runESN(flows, 3)
-		if err != nil {
-			return nil, err
-		}
-		t.Add(load,
-			fmtMS(sir.FCTShort.Percentile(99)), fmtMS(ideal.FCTShort.Percentile(99)),
-			fmtMS(esn.FCTShort.Percentile(99)), fmtMS(osub.FCTShort.Percentile(99)),
-			sir.GoodputNorm, ideal.GoodputNorm, esn.GoodputNorm, osub.GoodputNorm)
+	}
+	if err := t.collect(runOn(ctx, rn, s, "fig9", pts)); err != nil {
+		return nil, err
 	}
 	return t, nil
 }
 
 // Fig10 reproduces the queue-bound sweep: FCT, goodput, peak aggregate
-// queue occupancy and peak reorder buffer for Q in {2,4,8,16}.
-func Fig10(s Scale, qs []int, loads []float64) (*Table, error) {
+// queue occupancy and peak reorder buffer for Q in {2,4,8,16}. One sweep
+// point per (Q, load) pair.
+func Fig10(ctx context.Context, rn *sweep.Runner, s Scale, qs []int, loads []float64) (*Table, error) {
 	t := &Table{
 		Title: "Fig 10: effect of the queue bound Q",
 		Note: "paper: Q=4 best FCT/goodput trade-off; peak aggregate queue " +
@@ -153,32 +167,44 @@ func Fig10(s Scale, qs []int, loads []float64) (*Table, error) {
 		Header: []string{"Q", "load", "short_p99_fct_ms", "goodput",
 			"peak_node_queue_KB", "peak_reorder_KB"},
 	}
+	var pts []sweep.Point
 	for _, q := range qs {
 		for _, load := range loads {
-			flows, err := s.flows(load, 100e3, s.Seed)
-			if err != nil {
-				return nil, err
-			}
-			o := defaultOpts()
-			o.q = q
-			o.trackReorder = true
-			res, err := s.runSirius(flows, o)
-			if err != nil {
-				return nil, err
-			}
-			t.Add(q, load,
-				fmtMS(res.FCTShort.Percentile(99)), res.GoodputNorm,
-				float64(res.PeakNodeQueueBytes)/1024,
-				float64(res.PeakReorderBytes)/1024)
+			q, load := q, load
+			pts = append(pts, sweep.Point{
+				Key: fmt.Sprintf("fig10|%s|q=%d|load=%g", s.keyID(), q, load),
+				Run: func(ctx context.Context, seed uint64) ([][]string, error) {
+					flows, err := s.flows(load, 100e3, s.Seed)
+					if err != nil {
+						return nil, err
+					}
+					o := defaultOpts()
+					o.q = q
+					o.trackReorder = true
+					res, err := s.withSeed(seed).runSirius(ctx, flows, o)
+					if err != nil {
+						return nil, err
+					}
+					return [][]string{row(q, load,
+						fmtMS(res.FCTShort.Percentile(99)), res.GoodputNorm,
+						float64(res.PeakNodeQueueBytes)/1024,
+						float64(res.PeakReorderBytes)/1024)}, nil
+				},
+			})
 		}
+	}
+	if err := t.collect(runOn(ctx, rn, s, "fig10", pts)); err != nil {
+		return nil, err
 	}
 	return t, nil
 }
 
 // Fig11 reproduces the guardband sweep at full load: as the guardband
 // grows (with the slot scaled so it stays 10% of it), the epoch grows and
-// queuing latency with it.
-func Fig11(s Scale, guardsNS []float64) (*Table, error) {
+// queuing latency with it. Point 0 is the shared ESN baseline; every
+// guardband is its own point on the same flow sample (seeded from the
+// scale, not the substream, so all rows compare like for like).
+func Fig11(ctx context.Context, rn *sweep.Runner, s Scale, guardsNS []float64) (*Table, error) {
 	t := &Table{
 		Title: "Fig 11: short-flow p99 FCT vs guardband (10% of slot), high load",
 		Note:  "paper: FCT grows sharply beyond ~10 ns; motivates fast tuning + CDR",
@@ -192,39 +218,66 @@ func Fig11(s Scale, guardsNS []float64) (*Table, error) {
 	// point (at a rescaled 1.0 the smallest cells saturate the fabric
 	// through header overhead and invert the curve).
 	load := 0.6
-	flows, err := s.flows(load, 100e3, s.Seed)
-	if err != nil {
-		return nil, err
-	}
-	esn, err := s.runESN(flows, 1)
-	if err != nil {
-		return nil, err
-	}
+	pts := make([]sweep.Point, 0, len(guardsNS)+1)
+	pts = append(pts, sweep.Point{
+		Key: fmt.Sprintf("fig11|%s|esn|load=%g", s.keyID(), load),
+		Run: func(ctx context.Context, seed uint64) ([][]string, error) {
+			flows, err := s.flows(load, 100e3, s.Seed)
+			if err != nil {
+				return nil, err
+			}
+			esn, err := s.runESN(ctx, flows, 1)
+			if err != nil {
+				return nil, err
+			}
+			return [][]string{{fmtMS(esn.FCTShort.Percentile(99))}}, nil
+		},
+	})
 	for _, g := range guardsNS {
-		slot := phy.SlotForGuardband(50*simtime.Gbps,
-			simtime.Duration(g*float64(simtime.Nanosecond)), 0.10)
-		o := defaultOpts()
-		o.slot = slot
-		sir, err := s.runSirius(flows, o)
-		if err != nil {
-			return nil, err
+		g := g
+		pts = append(pts, sweep.Point{
+			Key: fmt.Sprintf("fig11|%s|guard=%g|load=%g", s.keyID(), g, load),
+			Run: func(ctx context.Context, seed uint64) ([][]string, error) {
+				flows, err := s.flows(load, 100e3, s.Seed)
+				if err != nil {
+					return nil, err
+				}
+				slot := phy.SlotForGuardband(50*simtime.Gbps,
+					simtime.Duration(g*float64(simtime.Nanosecond)), 0.10)
+				o := defaultOpts()
+				o.slot = slot
+				sp := s.withSeed(seed)
+				sir, err := sp.runSirius(ctx, flows, o)
+				if err != nil {
+					return nil, err
+				}
+				o.mode = core.ModeIdeal
+				ideal, err := sp.runSirius(ctx, flows, o)
+				if err != nil {
+					return nil, err
+				}
+				return [][]string{row(g, slot.CellBytes, slot.Duration().Nanoseconds(),
+					fmtMS(sir.FCTShort.Percentile(99)),
+					fmtMS(ideal.FCTShort.Percentile(99)))}, nil
+			},
+		})
+	}
+	res, err := runOn(ctx, rn, s, "fig11", pts)
+	if err != nil {
+		return nil, err
+	}
+	esnCell := res[0][0][0]
+	for _, rows := range res[1:] {
+		for _, r := range rows {
+			t.Rows = append(t.Rows, append(r, esnCell))
 		}
-		o.mode = core.ModeIdeal
-		ideal, err := s.runSirius(flows, o)
-		if err != nil {
-			return nil, err
-		}
-		t.Add(g, slot.CellBytes, slot.Duration().Nanoseconds(),
-			fmtMS(sir.FCTShort.Percentile(99)),
-			fmtMS(ideal.FCTShort.Percentile(99)),
-			fmtMS(esn.FCTShort.Percentile(99)))
 	}
 	return t, nil
 }
 
 // Fig12 reproduces the uplink-provisioning sweep: goodput for 1x, 1.5x
-// and 2x uplinks against the ESN.
-func Fig12(s Scale, mults, loads []float64) (*Table, error) {
+// and 2x uplinks against the ESN. One sweep point per load.
+func Fig12(ctx context.Context, rn *sweep.Runner, s Scale, mults, loads []float64) (*Table, error) {
 	t := &Table{
 		Title: "Fig 12: normalized goodput vs load for 1x/1.5x/2x uplinks",
 		Note:  "paper: 1.5x suffices to match ESN (Ideal); 1x loses ~20% at full load",
@@ -236,34 +289,46 @@ func Fig12(s Scale, mults, loads []float64) (*Table, error) {
 			return h
 		}(),
 	}
-	for _, load := range loads {
-		flows, err := s.flows(load, 100e3, s.Seed)
-		if err != nil {
-			return nil, err
+	pts := make([]sweep.Point, len(loads))
+	for i, load := range loads {
+		load := load
+		pts[i] = sweep.Point{
+			Key: fmt.Sprintf("fig12|%s|load=%g|mults=%v", s.keyID(), load, mults),
+			Run: func(ctx context.Context, seed uint64) ([][]string, error) {
+				flows, err := s.flows(load, 100e3, s.Seed)
+				if err != nil {
+					return nil, err
+				}
+				sp := s.withSeed(seed)
+				esn, err := sp.runESN(ctx, flows, 1)
+				if err != nil {
+					return nil, err
+				}
+				cells := []interface{}{load, esn.GoodputNorm}
+				for _, m := range mults {
+					o := defaultOpts()
+					o.mult = m
+					res, err := sp.runSirius(ctx, flows, o)
+					if err != nil {
+						return nil, err
+					}
+					cells = append(cells, res.GoodputNorm)
+				}
+				return [][]string{row(cells...)}, nil
+			},
 		}
-		esn, err := s.runESN(flows, 1)
-		if err != nil {
-			return nil, err
-		}
-		row := []interface{}{load, esn.GoodputNorm}
-		for _, m := range mults {
-			o := defaultOpts()
-			o.mult = m
-			res, err := s.runSirius(flows, o)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, res.GoodputNorm)
-		}
-		t.Add(row...)
+	}
+	if err := t.collect(runOn(ctx, rn, s, "fig12", pts)); err != nil {
+		return nil, err
 	}
 	return t, nil
 }
 
 // Fig13 reproduces the flow-size sweep: fixed-size cells hurt when the
 // average flow is much smaller than a cell, and the gap closes as flows
-// grow.
-func Fig13(s Scale, meanBytes []float64, load float64) (*Table, error) {
+// grow. One sweep point per mean flow size; the workload itself differs
+// per point, so it is seeded from the point substream.
+func Fig13(ctx context.Context, rn *sweep.Runner, s Scale, meanBytes []float64, load float64) (*Table, error) {
 	t := &Table{
 		Title: "Fig 13: FCT and goodput vs average flow size",
 		Note: "paper: at 512 B mean, cells cost ~2.3x FCT and ~1.7x goodput " +
@@ -271,25 +336,36 @@ func Fig13(s Scale, meanBytes []float64, load float64) (*Table, error) {
 		Header: []string{"mean_flow", "sirius_fct_ms", "esn_fct_ms", "fct_ratio",
 			"sirius_gput", "esn_gput", "gput_ratio"},
 	}
-	for _, mb := range meanBytes {
-		flows, err := s.flows(load, mb, s.Seed+uint64(mb))
-		if err != nil {
-			return nil, err
+	pts := make([]sweep.Point, len(meanBytes))
+	for i, mb := range meanBytes {
+		mb := mb
+		pts[i] = sweep.Point{
+			Key: fmt.Sprintf("fig13|%s|mean=%g|load=%g", s.keyID(), mb, load),
+			Run: func(ctx context.Context, seed uint64) ([][]string, error) {
+				flows, err := s.flows(load, mb, seed)
+				if err != nil {
+					return nil, err
+				}
+				sp := s.withSeed(seed)
+				sir, err := sp.runSirius(ctx, flows, defaultOpts())
+				if err != nil {
+					return nil, err
+				}
+				esn, err := sp.runESN(ctx, flows, 1)
+				if err != nil {
+					return nil, err
+				}
+				// Small-mean workloads have arrival windows comparable to the
+				// fabric's base latency, so goodput is measured over the makespan.
+				spq, epq := sir.FCTShort.Percentile(99), esn.FCTShort.Percentile(99)
+				return [][]string{row(fmt.Sprintf("%.0fB", mb), fmtMS(spq), fmtMS(epq), spq/epq,
+					sir.MakespanGoodput, esn.MakespanGoodput,
+					esn.MakespanGoodput/sir.MakespanGoodput)}, nil
+			},
 		}
-		sir, err := s.runSirius(flows, defaultOpts())
-		if err != nil {
-			return nil, err
-		}
-		esn, err := s.runESN(flows, 1)
-		if err != nil {
-			return nil, err
-		}
-		// Small-mean workloads have arrival windows comparable to the
-		// fabric's base latency, so goodput is measured over the makespan.
-		sp, ep := sir.FCTShort.Percentile(99), esn.FCTShort.Percentile(99)
-		t.Add(fmt.Sprintf("%.0fB", mb), fmtMS(sp), fmtMS(ep), sp/ep,
-			sir.MakespanGoodput, esn.MakespanGoodput,
-			esn.MakespanGoodput/sir.MakespanGoodput)
+	}
+	if err := t.collect(runOn(ctx, rn, s, "fig13", pts)); err != nil {
+		return nil, err
 	}
 	return t, nil
 }

@@ -1,0 +1,65 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+
+	"sirius/internal/sweep"
+)
+
+// The sweep-shaped experiments (Fig. 9–13, failure, servers, ablation)
+// run on the internal/sweep engine: each grid point is an independent
+// sweep.Point and a *sweep.Runner executes them on a bounded worker pool
+// with per-point RNG substreams and an optional on-disk cache.
+//
+// Seeding discipline — what each point derives from where:
+//
+//   - The workload is seeded from Scale.Seed whenever rows must be
+//     comparable on the *same* flow sample (every system within a row;
+//     every guardband row of Fig. 11 against its shared ESN baseline).
+//   - Simulator randomness (intermediate choice etc.) is seeded from the
+//     point's substream seed, so grid points are statistically
+//     independent yet bit-reproducible at any parallelism.
+//   - The ablation keeps Scale.Seed for the simulator too: its rows
+//     change exactly one design knob each, so they must share all
+//     randomness to price that knob and nothing else.
+//
+// Either way a point's output is a pure function of (scale, parameters,
+// root seed, point index), which is exactly the engine's caching and
+// determinism contract.
+
+// runOn executes the named sweep on rn, or serially on a private runner
+// rooted at the scale seed when rn is nil (the convenience path used by
+// tests and library callers that don't care about parallelism).
+func runOn(ctx context.Context, rn *sweep.Runner, s Scale, name string, pts []sweep.Point) ([][][]string, error) {
+	if rn == nil {
+		rn = &sweep.Runner{Parallel: 1, RootSeed: s.Seed}
+	}
+	return rn.Run(ctx, name, pts)
+}
+
+// collect appends a sweep's results (rows per point, in point order) to
+// the table, passing the sweep error through. On error the table is
+// incomplete and must be discarded.
+func (t *Table) collect(res [][][]string, err error) error {
+	if err != nil {
+		return err
+	}
+	for _, rows := range res {
+		t.Rows = append(t.Rows, rows...)
+	}
+	return nil
+}
+
+// keyID canonically encodes the scale for cache keys.
+func (s Scale) keyID() string {
+	return fmt.Sprintf("racks=%d|ports=%d|flows=%d|wseed=%d",
+		s.Racks, s.GratingPorts, s.Flows, s.Seed)
+}
+
+// withSeed returns the scale with its simulator seed replaced by the
+// point substream.
+func (s Scale) withSeed(seed uint64) Scale {
+	s.Seed = seed
+	return s
+}

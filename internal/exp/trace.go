@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sort"
@@ -11,8 +12,9 @@ import (
 
 // FromTrace runs the four §7 systems on a user-supplied flow trace
 // (workload.ReadCSV format): replaying production traces through the
-// simulators is the intended path for adopting users.
-func FromTrace(flows []workload.Flow, gratingPorts int, seed uint64) (*Table, error) {
+// simulators is the intended path for adopting users. ctx cancels the
+// underlying simulations.
+func FromTrace(ctx context.Context, flows []workload.Flow, gratingPorts int, seed uint64) (*Table, error) {
 	if len(flows) == 0 {
 		return nil, fmt.Errorf("exp: empty trace")
 	}
@@ -49,25 +51,25 @@ func FromTrace(flows []workload.Flow, gratingPorts int, seed uint64) (*Table, er
 		Header: []string{"system", "completed", "goodput",
 			"short_p99_fct_ms", "all_p99_fct_ms"},
 	}
-	sir, err := s.runSirius(ordered, defaultOpts())
+	sir, err := s.runSirius(ctx, ordered, defaultOpts())
 	if err != nil {
 		return nil, err
 	}
 	addCoreRow(t, "SIRIUS", sir)
 	io := defaultOpts()
 	io.mode = core.ModeIdeal
-	ideal, err := s.runSirius(ordered, io)
+	ideal, err := s.runSirius(ctx, ordered, io)
 	if err != nil {
 		return nil, err
 	}
 	addCoreRow(t, "SIRIUS (IDEAL)", ideal)
-	esn, err := s.runESN(ordered, 1)
+	esn, err := s.runESN(ctx, ordered, 1)
 	if err != nil {
 		return nil, err
 	}
 	t.Add("ESN (Ideal)", esn.Completed, esn.MakespanGoodput,
 		fmtMS(p99OrNaN(&esn.FCTShort)), fmtMS(p99OrNaN(&esn.FCTAll)))
-	osub, err := s.runESN(ordered, 3)
+	osub, err := s.runESN(ctx, ordered, 3)
 	if err != nil {
 		return nil, err
 	}
@@ -95,7 +97,7 @@ func p99OrNaN(s interface {
 func nan() float64 { var z float64; return z / z }
 
 // FromTraceFile loads a CSV trace and runs FromTrace.
-func FromTraceFile(path string, gratingPorts int, seed uint64) (*Table, error) {
+func FromTraceFile(ctx context.Context, path string, gratingPorts int, seed uint64) (*Table, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -105,5 +107,5 @@ func FromTraceFile(path string, gratingPorts int, seed uint64) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	return FromTrace(flows, gratingPorts, seed)
+	return FromTrace(ctx, flows, gratingPorts, seed)
 }

@@ -14,6 +14,7 @@
 package fluid
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -63,6 +64,13 @@ type flowState struct {
 
 // Run simulates the flows to completion.
 func Run(cfg Config, flows []workload.Flow) (*Results, error) {
+	return RunContext(context.Background(), cfg, flows)
+}
+
+// RunContext is Run with cancellation: the event loop polls ctx
+// periodically and returns ctx.Err() when it is done, mirroring
+// core.RunContext so sweep workers over the ESN baseline abort promptly.
+func RunContext(ctx context.Context, cfg Config, flows []workload.Flow) (*Results, error) {
 	switch {
 	case cfg.Endpoints < 2:
 		return nil, fmt.Errorf("fluid: need >= 2 endpoints")
@@ -120,7 +128,15 @@ func Run(cfg Config, flows []workload.Flow) (*Results, error) {
 		}
 	}
 
+	events := 0
 	for len(active) > 0 || next < len(ordered) {
+		// Poll for cancellation every so many events; each event does
+		// O(active) work, so this bounds the abort latency tightly.
+		if events++; events&0x3ff == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		// Next arrival time, if any.
 		arrival := math.Inf(1)
 		if next < len(ordered) {

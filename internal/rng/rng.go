@@ -37,6 +37,28 @@ func New(seed uint64) *RNG {
 // r. Use it to hand independent streams to sub-components.
 func (r *RNG) Split() *RNG { return New(r.Uint64()) }
 
+// mix64 is the splitmix64 finalizer: a bijective avalanche mix on 64 bits.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// PointSeed derives the seed of substream index from the root seed. The
+// experiment-sweep engine (internal/sweep) hands each grid point the
+// substream PointSeed(rootSeed, pointIndex): because the derivation is a
+// pure function of (root, index) and never touches shared generator
+// state, a sweep executed on one goroutine and on N goroutines produces
+// bit-identical results for every point.
+//
+// The construction is two rounds of splitmix64 mixing with the golden
+// ratio increment (the same pairing New uses), so nearby roots or indices
+// land in unrelated states and no (root, index) pair collides with a
+// plain New(seed) stream in practice.
+func PointSeed(root, index uint64) uint64 {
+	return mix64(mix64(root+0x9e3779b97f4a7c15) ^ (index+1)*0xbf58476d1ce4e5b9)
+}
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 random bits.

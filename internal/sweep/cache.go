@@ -1,0 +1,108 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+)
+
+// Identity names a point for memoization: the sweep it belongs to, its
+// canonical parameter key and its substream seed. Equal identities must
+// compute equal rows — that is the caching contract.
+type Identity struct {
+	Sweep string `json:"sweep"`
+	Key   string `json:"key"`
+	Seed  uint64 `json:"seed"`
+}
+
+// Hash returns the content address of the identity: FNV-1a 64 over the
+// canonical encoding. FNV is not collision-proof, so cache entries store
+// the full identity and Get verifies it — a colliding or stale entry is
+// treated as a miss, never silently replayed.
+func (id Identity) Hash() string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s\x00%s\x00%d", id.Sweep, id.Key, id.Seed)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// entry is the on-disk cache record.
+type entry struct {
+	Identity Identity   `json:"identity"`
+	Rows     [][]string `json:"rows"`
+	WallNS   int64      `json:"wall_ns"`
+}
+
+// Cache is an on-disk content-addressed store of completed sweep points,
+// one JSON file per point under its identity hash. It is safe for
+// concurrent use by the runner's workers (writes are atomic via
+// rename; readers only ever observe complete files).
+type Cache struct {
+	dir string
+}
+
+// OpenCache opens (creating if needed) a cache rooted at dir —
+// conventionally results/cache/.
+func OpenCache(dir string) (*Cache, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("sweep: empty cache dir")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("sweep: create cache: %w", err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir returns the cache root.
+func (c *Cache) Dir() string { return c.dir }
+
+func (c *Cache) path(id Identity) string {
+	return filepath.Join(c.dir, id.Hash()+".json")
+}
+
+// Get replays a memoized point. The third return is false on a miss, an
+// unreadable or corrupt entry, or an identity mismatch (hash collision);
+// wall is the original compute time of the hit.
+func (c *Cache) Get(id Identity) (rows [][]string, wall int64, ok bool) {
+	data, err := os.ReadFile(c.path(id))
+	if err != nil {
+		return nil, 0, false
+	}
+	var e entry
+	if err := json.Unmarshal(data, &e); err != nil {
+		return nil, 0, false // corrupt: treat as a miss, Put will repair
+	}
+	if e.Identity != id || e.Rows == nil {
+		return nil, 0, false
+	}
+	return e.Rows, e.WallNS, true
+}
+
+// Put memoizes a completed point atomically (write to a temp file in the
+// same directory, then rename), so concurrent writers and crashed runs
+// can never leave a partially-written entry visible.
+func (c *Cache) Put(id Identity, rows [][]string, wallNS int64) error {
+	data, err := json.Marshal(entry{Identity: id, Rows: rows, WallNS: wallNS})
+	if err != nil {
+		return fmt.Errorf("sweep: encode cache entry: %w", err)
+	}
+	tmp, err := os.CreateTemp(c.dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("sweep: cache temp: %w", err)
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		if werr == nil {
+			werr = cerr
+		}
+		return fmt.Errorf("sweep: write cache entry: %w", werr)
+	}
+	if err := os.Rename(tmp.Name(), c.path(id)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("sweep: commit cache entry: %w", err)
+	}
+	return nil
+}

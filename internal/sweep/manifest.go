@@ -1,0 +1,85 @@
+package sweep
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// PointRecord is one point's entry in the run manifest.
+type PointRecord struct {
+	Index  int    `json:"index"`
+	Key    string `json:"key"`
+	Seed   uint64 `json:"seed"`
+	Hash   string `json:"hash,omitempty"`
+	Cached bool   `json:"cached,omitempty"`
+	WallNS int64  `json:"wall_ns"`
+	Rows   int    `json:"rows"`
+	// Err records a failed or skipped (cancelled) point.
+	Err string `json:"error,omitempty"`
+	// CacheErr records a best-effort cache write that failed; the point
+	// itself still succeeded.
+	CacheErr string `json:"cache_error,omitempty"`
+}
+
+// SweepManifest summarizes one sweep execution.
+type SweepManifest struct {
+	Name     string        `json:"name"`
+	RootSeed uint64        `json:"root_seed"`
+	Parallel int           `json:"parallel"`
+	CacheHit int           `json:"cache_hits"`
+	WallNS   int64         `json:"wall_ns"`
+	Err      string        `json:"error,omitempty"`
+	Points   []PointRecord `json:"points"`
+}
+
+// RunManifest is the machine-readable record of a whole siriussim
+// invocation: every sweep it executed, with identities and timings, so a
+// figure in a paper draft can be traced back to the exact configuration
+// hashes that produced it.
+type RunManifest struct {
+	Command    string          `json:"command,omitempty"`
+	StartedAt  time.Time       `json:"started_at"`
+	FinishedAt time.Time       `json:"finished_at"`
+	WallNS     int64           `json:"wall_ns"`
+	Parallel   int             `json:"parallel"`
+	RootSeed   uint64          `json:"root_seed"`
+	Cache      string          `json:"cache,omitempty"`
+	Sweeps     []SweepManifest `json:"sweeps"`
+	Errors     []string        `json:"errors,omitempty"`
+}
+
+// Write encodes the manifest as indented JSON.
+func (m *RunManifest) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}
+
+// WriteFile atomically writes the manifest to path, creating parent
+// directories as needed.
+func (m *RunManifest) WriteFile(path string) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".manifest-*")
+	if err != nil {
+		return err
+	}
+	if err := m.Write(tmp); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}

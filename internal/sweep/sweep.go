@@ -1,0 +1,215 @@
+// Package sweep is the experiment-sweep engine: it expands a parameter
+// grid into independent points, executes them on a bounded worker pool,
+// memoizes completed points in an on-disk content-addressed cache, and
+// records a machine-readable manifest of every run.
+//
+// Every evaluation of the paper (Fig. 9–13, the failure study, the
+// server-granularity deployment and the ablations — E10–E21 in DESIGN.md
+// §4) is an embarrassingly parallel sweep over load points, queue bounds,
+// guardbands, uplink counts and seeds. The engine makes three promises:
+//
+//  1. Determinism. Each point receives the RNG substream
+//     rng.PointSeed(rootSeed, pointIndex); no point shares mutable
+//     generator state with any other, so a sweep run serially and a sweep
+//     run on N workers produce bit-identical rows for every point, in
+//     point order, regardless of completion order.
+//  2. Memoization. A point's identity is the FNV-1a hash of
+//     (sweep name, canonical point key, substream seed). Completed points
+//     are written to <cachedir>/<hash>.json and replayed on re-runs; a
+//     corrupt or colliding entry is detected (the stored identity is
+//     verified against the request) and recomputed.
+//  3. Observability. The runner streams per-point progress with an ETA
+//     and accumulates a manifest — per-point wall times, cache hits and
+//     identities — that callers flush next to their tables.
+//
+// Cancellation flows down: the context handed to Run reaches every
+// point's Run function, which forwards it into the core/fluid/dc
+// simulation loops, so SIGINT aborts workers mid-simulation and the
+// completed prefix of the sweep is still cached and accounted.
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"sirius/internal/rng"
+)
+
+// Point is one independent unit of work in a sweep.
+type Point struct {
+	// Key canonically describes everything that determines the point's
+	// output apart from the substream seed (experiment parameters, scale,
+	// shared workload seeds). Two points with equal keys and equal seeds
+	// must produce equal rows: the key is the cache identity.
+	Key string
+	// Run computes the point's table rows. seed is the point's private
+	// RNG substream, derived from (rootSeed, pointIndex); implementations
+	// must derive all per-point randomness from it (or from values
+	// captured in Key) and must honor ctx cancellation.
+	Run func(ctx context.Context, seed uint64) ([][]string, error)
+}
+
+// Runner executes sweeps. The zero value runs serially with no cache and
+// no progress output; a Runner is safe for use by one sweep at a time
+// (Run is not reentrant, but successive Runs accumulate manifests).
+type Runner struct {
+	// Parallel bounds the worker pool. <= 0 means GOMAXPROCS.
+	Parallel int
+	// RootSeed seeds every point's substream. Two runs with equal root
+	// seeds, names and points produce identical output at any parallelism.
+	RootSeed uint64
+	// Cache memoizes completed points; nil disables caching.
+	Cache *Cache
+	// Progress, when non-nil, receives one line per completed point with
+	// a running count, cache-hit tally, elapsed wall time and ETA.
+	Progress io.Writer
+
+	mu        sync.Mutex
+	manifests []SweepManifest
+}
+
+// Run executes the named sweep and returns each point's rows in point
+// order. On error (or cancellation) the first failure is returned;
+// already-completed points are still cached and recorded in the manifest.
+func (r *Runner) Run(ctx context.Context, name string, points []Point) ([][][]string, error) {
+	workers := r.Parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(points) {
+		workers = len(points)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	start := time.Now()
+	results := make([][][]string, len(points))
+	records := make([]PointRecord, len(points))
+
+	var (
+		mu       sync.Mutex
+		firstErr error
+		done     int
+		hits     int
+	)
+	finish := func(i int, rec PointRecord, rows [][]string, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		results[i] = rows
+		records[i] = rec
+		done++
+		if rec.Cached {
+			hits++
+		}
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("sweep %s point %d (%s): %w", name, i, points[i].Key, err)
+				cancel()
+			}
+			return
+		}
+		if r.Progress != nil {
+			elapsed := time.Since(start)
+			var eta time.Duration
+			if done > 0 && done < len(points) {
+				eta = time.Duration(float64(elapsed) / float64(done) * float64(len(points)-done))
+			}
+			fmt.Fprintf(r.Progress, "[%s] %d/%d points (%d cached) elapsed %s eta %s\n",
+				name, done, len(points), hits,
+				elapsed.Round(time.Millisecond), eta.Round(time.Millisecond))
+		}
+	}
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if ctx.Err() != nil {
+					// Drain remaining indices after cancellation; record
+					// the point as skipped.
+					finish(i, PointRecord{Index: i, Key: points[i].Key, Err: ctx.Err().Error()}, nil, ctx.Err())
+					continue
+				}
+				rows, rec, err := r.runPoint(ctx, name, i, points[i])
+				finish(i, rec, rows, err)
+			}
+		}()
+	}
+	for i := range points {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	man := SweepManifest{
+		Name:     name,
+		RootSeed: r.RootSeed,
+		Parallel: workers,
+		Points:   records,
+		CacheHit: hits,
+		WallNS:   time.Since(start).Nanoseconds(),
+	}
+	if firstErr != nil {
+		man.Err = firstErr.Error()
+	}
+	r.mu.Lock()
+	r.manifests = append(r.manifests, man)
+	r.mu.Unlock()
+
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
+}
+
+// runPoint executes (or replays) one point.
+func (r *Runner) runPoint(ctx context.Context, name string, i int, p Point) ([][]string, PointRecord, error) {
+	seed := rng.PointSeed(r.RootSeed, uint64(i))
+	id := Identity{Sweep: name, Key: p.Key, Seed: seed}
+	rec := PointRecord{Index: i, Key: p.Key, Seed: seed, Hash: id.Hash()}
+
+	if r.Cache != nil {
+		if rows, wall, ok := r.Cache.Get(id); ok {
+			rec.Cached = true
+			rec.WallNS = wall
+			rec.Rows = len(rows)
+			return rows, rec, nil
+		}
+	}
+	begin := time.Now()
+	rows, err := p.Run(ctx, seed)
+	rec.WallNS = time.Since(begin).Nanoseconds()
+	if err != nil {
+		rec.Err = err.Error()
+		return nil, rec, err
+	}
+	rec.Rows = len(rows)
+	if r.Cache != nil {
+		if cerr := r.Cache.Put(id, rows, rec.WallNS); cerr != nil {
+			// Caching is best-effort: record the failure, keep the rows.
+			rec.CacheErr = cerr.Error()
+		}
+	}
+	return rows, rec, nil
+}
+
+// Manifests returns a snapshot of the manifests of every sweep this
+// runner has executed, in execution order.
+func (r *Runner) Manifests() []SweepManifest {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]SweepManifest, len(r.manifests))
+	copy(out, r.manifests)
+	return out
+}
