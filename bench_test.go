@@ -266,35 +266,109 @@ func BenchmarkLaserTune(b *testing.B) {
 	_ = total
 }
 
+// coreBenchCases is the cells/sec grid: topology sizes n ∈ {64, 256, 1024}
+// across the three operating modes. The first case (n64/rg) is the
+// historical BenchmarkCoreCellsPerSecond configuration and the PR-to-PR
+// comparison anchor; see BENCH_core.json for the recorded trajectory.
+var coreBenchCases = []struct {
+	name  string
+	n     int
+	ports int
+	flows int
+	mode  core.Mode
+}{
+	{"n64/rg", 64, 8, 2000, core.ModeRequestGrant},
+	{"n64/ideal", 64, 8, 2000, core.ModeIdeal},
+	{"n64/direct", 64, 8, 2000, core.ModeDirect},
+	{"n256/rg", 256, 16, 2000, core.ModeRequestGrant},
+	{"n256/ideal", 256, 16, 2000, core.ModeIdeal},
+	{"n256/direct", 256, 16, 2000, core.ModeDirect},
+	{"n1024/rg", 1024, 32, 4000, core.ModeRequestGrant},
+	{"n1024/ideal", 1024, 32, 4000, core.ModeIdeal},
+	{"n1024/direct", 1024, 32, 4000, core.ModeDirect},
+}
+
 func BenchmarkCoreCellsPerSecond(b *testing.B) {
-	// End-to-end simulator throughput: cells simulated per wall second.
-	sched, err := schedule.NewGrouped(64, 8, 1)
+	// End-to-end simulator throughput: cells simulated per wall second,
+	// across topology sizes and operating modes. Running the full grid
+	// also rewrites BENCH_core.json (only the cases that actually ran).
+	type record struct {
+		NsPerOp  float64 `json:"ns_per_op"`
+		CellsSec float64 `json:"cells_per_sec"`
+	}
+	after := make(map[string]record)
+	for _, tc := range coreBenchCases {
+		b.Run(tc.name, func(b *testing.B) {
+			sched, err := schedule.NewGrouped(tc.n, tc.ports, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			wcfg := workload.DefaultConfig(tc.n, 400*simtime.Gbps, 0.9, tc.flows)
+			flows, err := workload.Generate(wcfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var cells int64
+			for _, f := range flows {
+				cells += int64((f.Bytes + 541) / 542)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, err := core.Run(core.Config{
+					Schedule:      sched,
+					Slot:          phy.DefaultSlot(),
+					Q:             4,
+					Mode:          tc.mode,
+					NormalizeRate: 400 * simtime.Gbps,
+					Seed:          1,
+				}, flows)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			cellsSec := float64(cells*int64(b.N)) / b.Elapsed().Seconds()
+			b.ReportMetric(cellsSec, "cells/s")
+			after[tc.name] = record{
+				NsPerOp:  float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+				CellsSec: cellsSec,
+			}
+		})
+	}
+	if len(after) == 0 {
+		return
+	}
+	out := map[string]interface{}{
+		"benchmark": "BenchmarkCoreCellsPerSecond",
+		"config": map[string]interface{}{
+			"load": 0.9, "q": 4, "rate_gbps": 400, "seed": 1,
+			"note": "grouped(n, ports, 1) schedule; flows per coreBenchCases",
+		},
+		"baseline_pre_optimization": coreBenchBaseline,
+		"after":                     after,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		b.Fatal(err)
 	}
-	wcfg := workload.DefaultConfig(64, 400*simtime.Gbps, 0.9, 2000)
-	flows, err := workload.Generate(wcfg)
-	if err != nil {
-		b.Fatal(err)
+	if err := os.WriteFile("BENCH_core.json", append(data, '\n'), 0o644); err != nil {
+		b.Logf("BENCH_core.json not written: %v", err)
 	}
-	var cells int64
-	for _, f := range flows {
-		cells += int64((f.Bytes + 541) / 542)
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		_, err := core.Run(core.Config{
-			Schedule:      sched,
-			Slot:          phy.DefaultSlot(),
-			Q:             4,
-			NormalizeRate: 400 * simtime.Gbps,
-			Seed:          1,
-		}, flows)
-		if err != nil {
-			b.Fatal(err)
-		}
-	}
-	b.ReportMetric(float64(cells*int64(b.N))/b.Elapsed().Seconds(), "cells/s")
+}
+
+// coreBenchBaseline records the grid measured at the pre-optimization
+// commit (the parent of this PR) on the same machine the "after" numbers
+// in BENCH_core.json were taken on. Kept in code so regenerating the
+// artifact preserves the before/after comparison.
+var coreBenchBaseline = map[string]map[string]float64{
+	"n64/rg":       {"ns_per_op": 56275626, "cells_per_sec": 2843552},
+	"n64/ideal":    {"ns_per_op": 25413214, "cells_per_sec": 6296928},
+	"n64/direct":   {"ns_per_op": 45517868, "cells_per_sec": 3515627},
+	"n256/rg":      {"ns_per_op": 183285843, "cells_per_sec": 873062},
+	"n256/ideal":   {"ns_per_op": 99525653, "cells_per_sec": 1607838},
+	"n256/direct":  {"ns_per_op": 262773536, "cells_per_sec": 608962},
+	"n1024/rg":     {"ns_per_op": 1630050682, "cells_per_sec": 190906},
+	"n1024/ideal":  {"ns_per_op": 824097422, "cells_per_sec": 377609},
+	"n1024/direct": {"ns_per_op": 3661755202, "cells_per_sec": 84983},
 }
 
 func BenchmarkWorkloadGenerate(b *testing.B) {
@@ -354,8 +428,13 @@ func BenchmarkServerLevel(b *testing.B) {
 
 // BenchmarkSweepParallel measures the fig9 sweep on the parallel engine
 // (GOMAXPROCS workers, no cache) and, once per run, times a serial
-// reference sweep to report the speedup — both as benchmark metrics and
-// as BENCH_sweep.json, seeding the repo's performance trajectory.
+// reference sweep — both as benchmark metrics and as BENCH_sweep.json,
+// seeding the repo's performance trajectory.
+//
+// Honesty rule: a speedup is only claimed when the host actually grants
+// more than one worker. On a single-CPU machine serial and "parallel"
+// differ only by scheduling noise, so the artifact records speedup 1.0
+// and says why, rather than laundering noise into a ratio.
 func BenchmarkSweepParallel(b *testing.B) {
 	s := exp.TinyScale()
 	loads := []float64{0.1, 0.25, 0.5, 0.75, 0.9, 1.0}
@@ -372,17 +451,23 @@ func BenchmarkSweepParallel(b *testing.B) {
 	// One serial/parallel pair outside the timed loop for the JSON record.
 	serial := measure(1)
 	parallel := measure(workers)
-	speedup := float64(serial) / float64(parallel)
-	b.ReportMetric(speedup, "speedup")
-	data, err := json.MarshalIndent(map[string]interface{}{
+	rec := map[string]interface{}{
 		"benchmark":   "BenchmarkSweepParallel",
 		"sweep":       "fig9/tiny",
 		"points":      len(loads),
 		"workers":     workers,
 		"serial_ns":   serial.Nanoseconds(),
 		"parallel_ns": parallel.Nanoseconds(),
-		"speedup":     speedup,
-	}, "", "  ")
+	}
+	if workers > 1 {
+		speedup := float64(serial) / float64(parallel)
+		rec["speedup"] = speedup
+		b.ReportMetric(speedup, "speedup")
+	} else {
+		rec["speedup"] = 1.0
+		rec["note"] = "GOMAXPROCS=1: serial and parallel runs are the same schedule; no speedup claimed"
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -31,11 +31,15 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
+	rtrace "runtime/trace"
 	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
+	"sirius/internal/core"
 	"sirius/internal/exp"
 	"sirius/internal/sweep"
 )
@@ -60,8 +64,55 @@ func run(args []string) int {
 		cacheDir = fs.String("cachedir", "results/cache", "sweep point cache directory")
 		manifest = fs.String("manifest", "results/run_manifest.json", "run manifest path (empty disables)")
 		progress = fs.Bool("progress", false, "stream per-point sweep progress and ETA to stderr")
+
+		cpuprofile  = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile  = fs.String("memprofile", "", "write a heap profile to this file on exit")
+		exectrace   = fs.String("exectrace", "", "write a runtime execution trace to this file")
+		pprofLabels = fs.Bool("pproflabels", false, "label sweep-point goroutines (sweep=<name>, point=<key>) in CPU profiles")
+		perf        = fs.Bool("perf", true, "print a per-experiment wall-time and cells/sec summary to stderr")
 	)
 	fs.Parse(args)
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			return 2
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *exectrace != "" {
+		f, err := os.Create(*exectrace)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "exectrace: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		if err := rtrace.Start(f); err != nil {
+			fmt.Fprintf(os.Stderr, "exectrace: %v\n", err)
+			return 2
+		}
+		defer rtrace.Stop()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	var sc exp.Scale
 	switch *scale {
@@ -90,7 +141,7 @@ func run(args []string) int {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	runner := &sweep.Runner{Parallel: *parallel, RootSeed: sc.Seed}
+	runner := &sweep.Runner{Parallel: *parallel, RootSeed: sc.Seed, PprofLabels: *pprofLabels}
 	if *progress {
 		runner.Progress = os.Stderr
 	}
@@ -167,7 +218,20 @@ func run(args []string) int {
 			fail(id, fmt.Errorf("unknown experiment"))
 			return
 		}
+		cells0, slots0 := core.Counters()
+		t0 := time.Now()
 		tab, err := r()
+		if *perf {
+			wall := time.Since(t0)
+			cells, slots := core.Counters()
+			if dc := cells - cells0; dc > 0 && wall > 0 {
+				fmt.Fprintf(os.Stderr, "perf: %-9s %10v wall  %12d cells  %10d slots  %8.2fM cells/s\n",
+					id, wall.Round(time.Millisecond), dc, slots-slots0,
+					float64(dc)/wall.Seconds()/1e6)
+			} else {
+				fmt.Fprintf(os.Stderr, "perf: %-9s %10v wall\n", id, wall.Round(time.Millisecond))
+			}
+		}
 		if err != nil {
 			fail(id, err)
 			return

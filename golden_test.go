@@ -1,0 +1,54 @@
+package sirius
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sirius/internal/exp"
+)
+
+// The end-to-end golden test pins the fig9 tiny-scale sweep output —
+// tables rendered through the full exp/sweep/core/fluid stack — at a
+// fixed seed. The fixture was generated before the hot-path optimization
+// of the core simulator, so a pass proves the optimized stack reproduces
+// the reference implementation byte for byte.
+//
+// Regenerate (only for intentional semantic changes):
+//
+//	go test -run TestGoldenFig9Tiny -update-golden .
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the golden sweep fixture")
+
+func TestGoldenFig9Tiny(t *testing.T) {
+	s := exp.TinyScale()
+	tab, err := exp.Fig9(context.Background(), nil, s, []float64{0.25, 0.75})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	if err := tab.JSON(&got); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "golden_fig9_tiny.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden fixture missing (run with -update-golden): %v", err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Errorf("fig9 tiny sweep diverges from the golden fixture\n got: %s\nwant: %s",
+			got.Bytes(), want)
+	}
+}

@@ -23,11 +23,34 @@
 //
 // docs/PROTOCOL.md specifies the protocol as implemented and justifies
 // each deviation from the paper's prose.
+//
+// # Performance model
+//
+// The hot path is activity-proportional and allocation-free in steady
+// state (DESIGN.md § Performance model):
+//
+//   - Active sets. Dense bitset indices track the nodes with cells to
+//     transmit (workActive), nodes with LOCAL backlog (localActive),
+//     nodes with paced injection pending (pendingActive) and, per node,
+//     the destinations with non-empty LOCAL queues (dstActive). The slot
+//     loop, the paced drain, the per-epoch demand enumeration and the
+//     ModeDirect/ModeIdeal epoch passes all iterate these sets, so their
+//     cost scales with live traffic rather than with n or n².
+//   - Zero-allocation steady state. FIFO backing segments are recycled
+//     through a slab arena, scratch buffers are pre-sized and reused
+//     across epochs, and the congestion controller double-buffers its
+//     grant lists. Once warm, a simulation step performs no heap
+//     allocations (enforced by TestRunSteadyStateZeroAlloc).
+//   - Determinism. The active-set iteration order is exactly the
+//     ascending/rotated index-scan order of the reference implementation,
+//     so results are byte-identical for a given seed (enforced by the
+//     golden fixtures under testdata/).
 package core
 
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 
 	"sirius/internal/cell"
 	"sirius/internal/congestion"
@@ -157,6 +180,21 @@ type Results struct {
 	PerFlowFCT []simtime.Duration
 }
 
+// Process-wide observability counters, exposed so cmd/siriussim can print
+// a cells/sec summary per experiment without threading state through the
+// harness. They are cumulative across every Run in the process.
+var (
+	statCells atomic.Int64
+	statSlots atomic.Int64
+)
+
+// Counters reports the cumulative number of cells delivered and timeslots
+// simulated by every completed Run in this process. Snapshot before and
+// after a workload to compute its cells/sec.
+func Counters() (cells, slots int64) {
+	return statCells.Load(), statSlots.Load()
+}
+
 // sim is the run state.
 type sim struct {
 	ctx     context.Context
@@ -166,6 +204,8 @@ type sim struct {
 	epochE  int
 	k       int // pair connections per epoch
 	payload int
+	hop2    simtime.Duration // 2 * HopPropagation, hoisted off the hot path
+	qk      int32            // Q * k, the scaled intermediate bound
 
 	flows      []workload.Flow
 	cellsTotal []int32            // cells per flow
@@ -177,6 +217,11 @@ type sim struct {
 	window      simtime.Time // last flow arrival: goodput window end
 	windowBytes int64        // application bytes delivered inside the window
 
+	// Slab arenas recycling the fifo backing segments (int32: flow ids;
+	// int64: packed cell refs). See queue.go.
+	ar32 arena[int32]
+	ar64 arena[int64]
+
 	// LOCAL: per-destination flow queues. Requests are generated by
 	// cycling over the destination queues (DRRM style — one request per
 	// queued cell, destinations served round-robin) so an elephant flow
@@ -186,6 +231,20 @@ type sim struct {
 	demandStart []int         // per node: round-robin offset over destinations
 	localCount  []int64       // per node: total cells in LOCAL
 	rrDst       []int         // per node: round-robin pull pointer (ModeIdeal)
+
+	// Active sets (see the package comment's performance model): dense
+	// bitset indices replacing the full n / n×n occupancy scans.
+	workActive    bitset // nodes with workCells > 0
+	localActive   bitset // nodes with localCount > 0
+	pendingActive bitset // nodes with a non-empty pendingQ
+	dstActive     bitset // per node (dstWords words each): non-empty byDst
+	dstWords      int
+	// txActive is a flat n*n bitset over (node, peer) pairs: bit
+	// node*n+peer is set while voq[node*n+peer] or fwdq[node*n+peer] is
+	// non-empty. The slot loop tests it before touching either fifo, so
+	// a scheduled slot whose queues are empty costs one bit probe
+	// instead of two cache-missing fifo loads.
+	txActive bitset
 
 	// Intra-rack pacing (InjectRate > 0): flows whose cells have not yet
 	// entered LOCAL, round-robin per node, with remaining-cell counts.
@@ -220,8 +279,8 @@ type sim struct {
 	// dark) so the hot loop avoids interface calls.
 	dstTable []int32
 	// workCells counts the cells a node currently has to transmit (its
-	// VOQs plus its forward queues); nodes at zero are skipped in the
-	// slot loop, which is most nodes most slots at low load.
+	// VOQs plus its forward queues); nodes at zero carry no workActive
+	// bit and are never touched by the slot loop.
 	workCells []int32
 
 	epoch        int64 // epochs elapsed (drives rotation fairness)
@@ -249,6 +308,17 @@ func Run(cfg Config, flows []workload.Flow) (*Results, error) {
 // the context is done, so the experiment-sweep engine can abort workers
 // on SIGINT without waiting for a full simulation to drain.
 func RunContext(ctx context.Context, cfg Config, flows []workload.Flow) (*Results, error) {
+	s, err := newSim(ctx, cfg, flows)
+	if err != nil {
+		return nil, err
+	}
+	return s.run()
+}
+
+// newSim validates the configuration and builds the run state. It is
+// split from RunContext so the white-box performance tests can drive the
+// slot loop directly (see alloc_test.go).
+func newSim(ctx context.Context, cfg Config, flows []workload.Flow) (*sim, error) {
 	if cfg.Schedule == nil {
 		return nil, fmt.Errorf("core: nil schedule")
 	}
@@ -293,9 +363,11 @@ func RunContext(ctx context.Context, cfg Config, flows []workload.Flow) (*Result
 		epochE:  cfg.Schedule.SlotsPerEpoch(),
 		k:       cfg.Schedule.ConnectionsPerEpoch(),
 		payload: cfg.Slot.CellBytes - cell.HeaderLen,
+		hop2:    cfg.HopPropagation * 2,
 		flows:   flows,
 		r:       rng.New(cfg.Seed),
 	}
+	s.qk = int32(cfg.Q * s.k)
 	s.cellsTotal = make([]int32, len(flows))
 	s.cellsLeft = make([]int32, len(flows))
 	s.consumed = make([]int32, len(flows))
@@ -315,6 +387,10 @@ func RunContext(ctx context.Context, cfg Config, flows []workload.Flow) (*Result
 	s.demandStart = make([]int, n)
 	s.localCount = make([]int64, n)
 	s.rrDst = make([]int, n)
+	s.workActive = newBitset(n)
+	s.localActive = newBitset(n)
+	s.dstWords = bitsetWords(n)
+	s.dstActive = make(bitset, n*s.dstWords)
 	if cfg.InjectRate > 0 || cfg.LocalCap > 0 {
 		if cfg.InjectRate < 0 || cfg.LocalCap < 0 {
 			return nil, fmt.Errorf("core: negative inject rate or local cap")
@@ -324,11 +400,15 @@ func RunContext(ctx context.Context, cfg Config, flows []workload.Flow) (*Result
 		}
 		s.pendingQ = make([]fifo[int32], n)
 		s.toInject = make([]int32, len(flows))
+		s.pendingActive = newBitset(n)
 	}
 	s.voq = make([]fifo[int64], n*n)
 	s.fwdq = make([]fifo[int64], n*n)
+	s.txActive = newBitset(n * n)
 	s.queueGauge = make([]metrics.Peak, n)
-	s.demandBuf = make([]int, 0, n)
+	s.demandBuf = make([]int, 0, s.k*(n-1))
+	s.demandCands = make([]int32, 0, n)
+	s.demandCounts = make([]int32, 0, n)
 	s.tieBreak = make([]bool, n*n)
 	s.workCells = make([]int32, n)
 	if cfg.Mode == ModeIdeal {
@@ -364,7 +444,52 @@ func RunContext(ctx context.Context, cfg Config, flows []workload.Flow) (*Result
 			s.cc.InstantControl()
 		}
 	}
-	return s.run()
+	return s, nil
+}
+
+// dstRow returns node's active-destination bitset (the destinations with
+// a non-empty LOCAL queue).
+func (s *sim) dstRow(node int) bitset {
+	return s.dstActive[node*s.dstWords : (node+1)*s.dstWords]
+}
+
+// workInc adds one transmittable cell to node's account, activating it in
+// the slot loop when it was idle.
+func (s *sim) workInc(node int) {
+	if s.workCells[node] == 0 {
+		s.workActive.set(node)
+	}
+	s.workCells[node]++
+}
+
+// workDec removes one transmittable cell from node's account, retiring it
+// from the slot loop when it drains.
+func (s *sim) workDec(node int) {
+	s.workCells[node]--
+	if s.workCells[node] == 0 {
+		s.workActive.clear(node)
+	}
+}
+
+// voqPush enqueues a granted cell ref on voq[idx] and marks the (node,
+// peer) pair live for the slot loop.
+func (s *sim) voqPush(idx int, ref int64) {
+	s.voq[idx].push(ref, &s.ar64)
+	s.txActive.set(idx)
+}
+
+// localPush appends flow f's next cell to node's LOCAL queue for dst,
+// maintaining the destination and node active sets.
+func (s *sim) localPush(node, dst int, f int32) {
+	q := &s.byDst[node*s.n+dst]
+	if q.empty() {
+		s.dstRow(node).set(dst)
+	}
+	q.push(f, &s.ar32)
+	if s.localCount[node] == 0 {
+		s.localActive.set(node)
+	}
+	s.localCount[node]++
 }
 
 func (s *sim) run() (*Results, error) {
@@ -373,6 +498,7 @@ func (s *sim) run() (*Results, error) {
 	if maxSlots == 0 {
 		maxSlots = 2_000_000_000
 	}
+	epochE := int64(s.epochE)
 	next := 0 // next flow to inject
 	var slot int64
 	quiescent := 0
@@ -388,7 +514,7 @@ func (s *sim) run() (*Results, error) {
 			s.drainPending()
 		}
 
-		e := int(slot % int64(s.epochE))
+		e := int(slot % epochE)
 		if e == 0 {
 			if err := s.ctx.Err(); err != nil {
 				return nil, err
@@ -405,35 +531,21 @@ func (s *sim) run() (*Results, error) {
 				// Nothing in flight and the control plane has drained:
 				// jump ahead to the epoch of the next arrival.
 				arriveSlot := int64(s.flows[next].Arrival) / int64(slotDur)
-				target := arriveSlot - arriveSlot%int64(s.epochE)
+				target := arriveSlot - arriveSlot%epochE
 				if target > slot {
 					slot = target - 1 // loop increment lands on target
 					continue
 				}
 			}
-			s.epochBoundary()
 		}
-
-		// Transmit on every uplink of every node.
-		deliverAt := now.Add(slotDur)
-		row := s.dstTable[e*s.n*s.uplinks : (e+1)*s.n*s.uplinks]
-		for node := 0; node < s.n; node++ {
-			if s.workCells[node] == 0 {
-				continue
-			}
-			for u := 0; u < s.uplinks; u++ {
-				dst := int(row[node*s.uplinks+u])
-				if dst < 0 || dst == node {
-					continue
-				}
-				s.transmit(node, dst, deliverAt)
-			}
-		}
+		s.step(e, now.Add(slotDur))
 	}
 	if slot >= maxSlots {
 		return nil, fmt.Errorf("core: slot cap %d reached with %d/%d flows complete",
 			maxSlots, s.completed, len(s.flows))
 	}
+	statCells.Add(s.delivered)
+	statSlots.Add(slot)
 
 	res := &Results{
 		Flows:            len(s.flows),
@@ -478,6 +590,37 @@ func (s *sim) run() (*Results, error) {
 	return res, nil
 }
 
+// step advances one slot: the control-plane epoch boundary when e == 0,
+// then the transmit fan-out over the nodes with cells to send. It is the
+// simulator's steady-state unit of work — once warm it performs no heap
+// allocations (TestRunSteadyStateZeroAlloc) and its cost scales with the
+// active node set, not the topology size.
+func (s *sim) step(e int, deliverAt simtime.Time) {
+	if e == 0 {
+		s.epochBoundary()
+	}
+	uplinks := s.uplinks
+	row := s.dstTable[e*s.n*uplinks : (e+1)*s.n*uplinks]
+	tx := s.txActive
+	for node := s.workActive.next(0); node >= 0; node = s.workActive.next(node + 1) {
+		nodeRow := row[node*uplinks : (node+1)*uplinks]
+		base := node * s.n
+		for u := 0; u < uplinks; u++ {
+			dst := int(nodeRow[u])
+			if dst < 0 || dst == node {
+				continue
+			}
+			if !tx.has(base + dst) {
+				continue // both queues for this peer are empty: idle slot
+			}
+			s.transmit(node, dst, deliverAt)
+			if s.workCells[node] == 0 {
+				break // node drained mid-slot; remaining uplinks are idle
+			}
+		}
+	}
+}
+
 // inject makes flow f's cells available at its source: directly into
 // LOCAL, or into the paced per-node pending queue when the intra-rack
 // tier is modeled.
@@ -488,40 +631,43 @@ func (s *sim) inject(f int32) {
 	s.total += int64(cells)
 	if s.pendingQ != nil {
 		s.toInject[f] = int32(cells)
-		s.pendingQ[fl.Src].push(f)
+		pq := &s.pendingQ[fl.Src]
+		if pq.empty() {
+			s.pendingActive.set(fl.Src)
+		}
+		pq.push(f, &s.ar32)
 		s.pendingOut += int64(cells)
 		return
 	}
-	q := &s.byDst[fl.Src*s.n+fl.Dst]
 	for c := 0; c < cells; c++ {
-		q.push(f)
+		s.localPush(fl.Src, fl.Dst, f)
 	}
-	s.localCount[fl.Src] += int64(cells)
 }
 
 // drainPending moves pending cells into LOCAL at the intra-rack rate,
 // one cell per flow per turn (the rack tier's per-flow fairness),
-// stalling on the LOCAL bound.
+// stalling on the LOCAL bound. Only nodes with pending flows are visited.
 func (s *sim) drainPending() {
-	for node := 0; node < s.n; node++ {
+	injectRate := s.cfg.InjectRate
+	localCap := int64(s.cfg.LocalCap)
+	for node := s.pendingActive.next(0); node >= 0; node = s.pendingActive.next(node + 1) {
 		pq := &s.pendingQ[node]
-		if pq.empty() {
-			continue
-		}
-		budget := s.cfg.InjectRate
+		budget := injectRate
 		for budget > 0 && !pq.empty() {
-			if s.cfg.LocalCap > 0 && s.localCount[node] >= int64(s.cfg.LocalCap) {
+			if localCap > 0 && s.localCount[node] >= localCap {
 				break // credit back-pressure: LOCAL is full
 			}
-			f := pq.pop()
-			s.byDst[node*s.n+s.flows[f].Dst].push(f)
-			s.localCount[node]++
+			f := pq.pop(&s.ar32)
+			s.localPush(node, int(s.flows[f].Dst), f)
 			s.pendingOut--
 			s.toInject[f]--
 			if s.toInject[f] > 0 {
-				pq.push(f)
+				pq.push(f, &s.ar32)
 			}
 			budget--
+		}
+		if pq.empty() {
+			s.pendingActive.clear(node)
 		}
 	}
 }
@@ -531,8 +677,15 @@ func (s *sim) drainPending() {
 // destination's reorder buffer. The caller is responsible for the
 // corresponding walk-queue entry (skip counter or direct pop).
 func (s *sim) consume(node, dst int) int64 {
-	f := s.byDst[node*s.n+dst].pop()
+	q := &s.byDst[node*s.n+dst]
+	f := q.pop(&s.ar32)
+	if q.empty() {
+		s.dstRow(node).clear(dst)
+	}
 	s.localCount[node]--
+	if s.localCount[node] == 0 {
+		s.localActive.clear(node)
+	}
 	seq := s.consumed[f]
 	s.consumed[f]++
 	return cellRef(f, seq)
@@ -549,22 +702,22 @@ func (s *sim) epochBoundary() {
 					s.cc.OnGrantUnused(g.Via, g.Dst)
 					continue
 				}
-				s.voq[g.Src*s.n+g.Via].push(s.consume(g.Src, g.Dst))
-				s.workCells[g.Src]++
+				s.voqPush(g.Src*s.n+g.Via, s.consume(g.Src, g.Dst))
+				s.workInc(g.Src)
 			}
 		}
 	case ModeDirect:
 		// No detouring: every LOCAL cell goes to the VOQ of its own
-		// destination and waits for the direct slot.
-		for node := 0; node < s.n; node++ {
-			if s.localCount[node] == 0 {
-				continue
-			}
-			for dst := 0; dst < s.n; dst++ {
-				q := &s.byDst[node*s.n+dst]
+		// destination and waits for the direct slot. Only nodes with
+		// backlog — and only their non-empty destinations — are visited.
+		for node := s.localActive.next(0); node >= 0; node = s.localActive.next(node + 1) {
+			base := node * s.n
+			row := s.dstRow(node)
+			for dst := row.next(0); dst >= 0; dst = row.next(dst + 1) {
+				q := &s.byDst[base+dst]
 				for !q.empty() {
-					s.voq[node*s.n+dst].push(s.consume(node, dst))
-					s.workCells[node]++
+					s.voqPush(base+dst, s.consume(node, dst))
+					s.workInc(node)
 				}
 			}
 		}
@@ -580,8 +733,11 @@ func (s *sim) epochBoundary() {
 		// node processing order rotates so freed downstream capacity is
 		// shared fairly among competing sources.
 		start := int(s.epoch % int64(s.n))
-		for j := 0; j < s.n; j++ {
-			s.idealPull((start + j) % s.n)
+		for node := s.localActive.next(start); node >= 0; node = s.localActive.next(node + 1) {
+			s.idealPull(node)
+		}
+		for node := s.localActive.next(0); node >= 0 && node < start; node = s.localActive.next(node + 1) {
+			s.idealPull(node)
 		}
 	}
 	s.epoch++
@@ -595,8 +751,10 @@ func (s *sim) idealPull(node int) {
 	}
 	// Remaining VOQ space per intermediate this epoch.
 	total := 0
+	base := node * s.n
+	k := s.k
 	for via := 0; via < s.n; via++ {
-		b := s.k - s.voq[node*s.n+via].len()
+		b := k - s.voq[base+via].len()
 		if via == node || b < 0 {
 			b = 0
 		}
@@ -610,11 +768,12 @@ func (s *sim) idealPull(node int) {
 	cands := s.cands[:0]
 	start := s.rrDst[node] % s.n
 	s.rrDst[node]++
-	for j := 0; j < s.n; j++ {
-		d := (start + j) % s.n
-		if !s.byDst[node*s.n+d].empty() {
-			cands = append(cands, int32(d))
-		}
+	row := s.dstRow(node)
+	for d := row.next(start); d >= 0; d = row.next(d + 1) {
+		cands = append(cands, int32(d))
+	}
+	for d := row.next(0); d >= 0 && d < start; d = row.next(d + 1) {
+		cands = append(cands, int32(d))
 	}
 	// Round-robin one cell per destination per pass.
 	for total > 0 && len(cands) > 0 {
@@ -625,15 +784,15 @@ func (s *sim) idealPull(node int) {
 			if !ok {
 				continue // back-pressured: every eligible via is full for d
 			}
-			s.voq[node*s.n+via].push(s.consume(node, d))
-			s.workCells[node]++
+			s.voqPush(base+via, s.consume(node, d))
+			s.workInc(node)
 			s.idealQ[via*s.n+d]++
 			s.viaBudget[via]--
 			total--
 			if total == 0 {
 				break
 			}
-			if !s.byDst[node*s.n+d].empty() {
+			if !s.byDst[base+d].empty() {
 				cands[w] = d32
 				w++
 			}
@@ -650,15 +809,17 @@ func (s *sim) idealPull(node int) {
 // rotating order with VOQ budget left and committed cells for d below Q.
 func (s *sim) findVia(node, d int) (int, bool) {
 	ptr := int(s.viaPtr[node*s.n+d])
+	failed := s.failed
+	noDirect := s.cfg.NoDirect
 	for j := 0; j < s.n; j++ {
 		via := (ptr + j) % s.n
-		if via == node || s.viaBudget[via] == 0 || (s.failed != nil && s.failed[via]) ||
-			(s.cfg.NoDirect && via == d) {
+		if via == node || s.viaBudget[via] == 0 || (failed != nil && failed[via]) ||
+			(noDirect && via == d) {
 			continue
 		}
 		// The destination itself consumes immediately; intermediates are
 		// bounded at k·Q committed cells for d (see Config.Q).
-		if via != d && s.idealQ[via*s.n+d] >= int32(s.cfg.Q*s.k) {
+		if via != d && s.idealQ[via*s.n+d] >= s.qk {
 			continue
 		}
 		s.viaPtr[node*s.n+d] = int32(via + 1)
@@ -672,21 +833,29 @@ func (s *sim) findVia(node, d int) (int, bool) {
 // per-destination queues (and rotating the starting destination each
 // epoch) so every destination with backlog gets request opportunities
 // regardless of how large the other queues are. The returned slice is
-// valid until the next call.
+// valid until the next call. Only destinations with backlog are visited
+// (the dstActive index), so an idle or lightly loaded node costs O(n/64)
+// instead of O(n).
 func (s *sim) demand(node int) []int {
-	buf := s.demandBuf[:0]
-	limit := s.k * (s.n - 1)
 	start := s.demandStart[node] % s.n
 	s.demandStart[node]++
-	// One scan collects the destinations with backlog and their depths.
+	if s.localCount[node] == 0 {
+		return s.demandBuf[:0]
+	}
+	buf := s.demandBuf[:0]
+	limit := s.k * (s.n - 1)
+	// Collect the destinations with backlog and their depths, in the
+	// rotated order the reference scan produced.
 	cands, counts := s.demandCands[:0], s.demandCounts[:0]
 	base := node * s.n
-	for j := 0; j < s.n; j++ {
-		d := (start + j) % s.n
-		if l := s.byDst[base+d].len(); l > 0 {
-			cands = append(cands, int32(d))
-			counts = append(counts, int32(l))
-		}
+	row := s.dstRow(node)
+	for d := row.next(start); d >= 0; d = row.next(d + 1) {
+		cands = append(cands, int32(d))
+		counts = append(counts, int32(s.byDst[base+d].len()))
+	}
+	for d := row.next(0); d >= 0 && d < start; d = row.next(d + 1) {
+		cands = append(cands, int32(d))
+		counts = append(counts, int32(s.byDst[base+d].len()))
 	}
 	// Distribute the budget one cell per destination per pass, dropping
 	// exhausted queues from the compact candidate list.
@@ -727,8 +896,11 @@ func (s *sim) transmit(node, dst int, deliverAt simtime.Time) {
 	case useFwd:
 		// Forward a cell queued at this node (as intermediate) destined
 		// dst: final delivery.
-		ref := fw.pop()
-		s.workCells[node]--
+		ref := fw.pop(&s.ar64)
+		if fw.empty() && vq.empty() {
+			s.txActive.clear(idx)
+		}
+		s.workDec(node)
 		s.queueGauge[node].Add(-1)
 		if s.cc != nil {
 			s.cc.OnCellForwarded(node, dst)
@@ -736,12 +908,15 @@ func (s *sim) transmit(node, dst int, deliverAt simtime.Time) {
 		if s.idealQ != nil {
 			s.idealQ[idx]--
 		}
-		s.deliver(ref, deliverAt.Add(s.cfg.HopPropagation*2))
+		s.deliver(ref, deliverAt.Add(s.hop2))
 	case !vq.empty():
 		// Send a granted cell to its intermediate (possibly the final
 		// destination itself: the direct path).
-		ref := vq.pop()
-		s.workCells[node]--
+		ref := vq.pop(&s.ar64)
+		if vq.empty() && fw.empty() {
+			s.txActive.clear(idx)
+		}
+		s.workDec(node)
 		flow, _ := unpackRef(ref)
 		final := s.flows[flow].Dst
 		if s.cc != nil {
@@ -752,11 +927,13 @@ func (s *sim) transmit(node, dst int, deliverAt simtime.Time) {
 			if s.idealQ != nil {
 				s.idealQ[dst*s.n+final]--
 			}
-			s.deliver(ref, deliverAt.Add(s.cfg.HopPropagation*2))
+			s.deliver(ref, deliverAt.Add(s.hop2))
 			return
 		}
-		s.fwdq[dst*s.n+final].push(ref)
-		s.workCells[dst]++
+		fwdIdx := dst*s.n + final
+		s.fwdq[fwdIdx].push(ref, &s.ar64)
+		s.txActive.set(fwdIdx)
+		s.workInc(dst)
 		s.queueGauge[dst].Add(1)
 	}
 	// Otherwise idle: the slot carries only piggybacked control (already

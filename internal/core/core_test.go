@@ -369,23 +369,24 @@ func TestPropertyConservation(t *testing.T) {
 
 func TestFifo(t *testing.T) {
 	var q fifo[int32]
+	var ar arena[int32]
 	if !q.empty() || q.len() != 0 {
 		t.Fatal("zero fifo not empty")
 	}
 	for i := int32(0); i < 1000; i++ {
-		q.push(i)
+		q.push(i, &ar)
 	}
 	for i := int32(0); i < 500; i++ {
-		if got := q.pop(); got != i {
+		if got := q.pop(&ar); got != i {
 			t.Fatalf("pop = %d, want %d", got, i)
 		}
 	}
 	// Interleave to exercise compaction.
 	for i := int32(1000); i < 2000; i++ {
-		q.push(i)
+		q.push(i, &ar)
 	}
 	for i := int32(500); i < 2000; i++ {
-		if got := q.pop(); got != i {
+		if got := q.pop(&ar); got != i {
 			t.Fatalf("pop = %d, want %d", got, i)
 		}
 	}
@@ -398,13 +399,14 @@ func TestFifoPropertyOrder(t *testing.T) {
 	f := func(seed uint64) bool {
 		r := rng.New(seed)
 		var q fifo[int64]
+		var ar arena[int64]
 		var pushed, popped int64
 		for op := 0; op < 2000; op++ {
 			if q.empty() || r.Float64() < 0.55 {
-				q.push(pushed)
+				q.push(pushed, &ar)
 				pushed++
 			} else {
-				if q.pop() != popped {
+				if q.pop(&ar) != popped {
 					return false
 				}
 				popped++
@@ -434,7 +436,8 @@ func TestPopEmptyPanics(t *testing.T) {
 		}
 	}()
 	var q fifo[int32]
-	q.pop()
+	var ar arena[int32]
+	q.pop(&ar)
 }
 
 func TestFailedNodesDetour(t *testing.T) {

@@ -9,30 +9,60 @@ import "sirius/internal/simtime"
 
 // Event is a scheduled callback.
 type Event struct {
-	At  simtime.Time
-	Fn  func()
-	seq uint64
-	idx int // heap index; -1 when not queued
+	At   simtime.Time
+	Fn   func()
+	seq  uint64
+	next *Event // free-list link while pooled
+	idx  int    // heap index; -1 popped, -2 pooled
 }
 
 // Queue is a time-ordered event queue. The zero value is ready to use.
+//
+// Popped events are recycled through a per-queue free list (see Recycle),
+// so an event-driven simulation with a bounded number of in-flight events
+// stops allocating Event structs once the pool has seen its peak.
 type Queue struct {
-	h   []*Event
-	seq uint64
+	h    []*Event
+	seq  uint64
+	free *Event
 }
 
 // Len returns the number of pending events.
 func (q *Queue) Len() int { return len(q.h) }
 
 // Schedule enqueues fn to run at time at and returns the event handle,
-// which can be passed to Cancel.
+// which can be passed to Cancel. The Event comes from the queue's pool
+// when one is free; the handle must not be retained past the point where
+// the event runs inside RunUntil (which recycles it).
 func (q *Queue) Schedule(at simtime.Time, fn func()) *Event {
-	e := &Event{At: at, Fn: fn, seq: q.seq}
+	e := q.free
+	if e != nil {
+		q.free = e.next
+		e.next = nil
+		e.At, e.Fn = at, fn
+	} else {
+		e = &Event{At: at, Fn: fn}
+	}
+	e.seq = q.seq
 	q.seq++
 	e.idx = len(q.h)
 	q.h = append(q.h, e)
 	q.up(e.idx)
 	return e
+}
+
+// Recycle returns a popped event to the queue's pool for reuse by a later
+// Schedule. Only events that have left the heap (via Pop, or cancellation)
+// are banked; recycling a queued or already-pooled event is a no-op. The
+// caller must not touch e afterwards.
+func (q *Queue) Recycle(e *Event) {
+	if e == nil || e.idx != -1 {
+		return
+	}
+	e.idx = -2
+	e.Fn = nil // drop the closure so pooled events retain nothing
+	e.next = q.free
+	q.free = e
 }
 
 // Cancel removes a pending event. Cancelling an already-popped or
@@ -77,7 +107,9 @@ func (q *Queue) Pop() *Event {
 }
 
 // RunUntil pops and runs events until the queue is empty or the next event
-// is after deadline. It returns the time of the last event run.
+// is after deadline. It returns the time of the last event run. Each event
+// is recycled into the queue's pool after its callback returns, so the
+// handles returned by Schedule must not be used once their event has run.
 func (q *Queue) RunUntil(deadline simtime.Time) simtime.Time {
 	var last simtime.Time
 	for {
@@ -87,7 +119,9 @@ func (q *Queue) RunUntil(deadline simtime.Time) simtime.Time {
 		}
 		e := q.Pop()
 		last = e.At
-		e.Fn()
+		fn := e.Fn
+		q.Recycle(e)
+		fn()
 	}
 }
 

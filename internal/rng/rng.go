@@ -6,29 +6,35 @@
 // standard pairing recommended by its authors.
 package rng
 
-import "math"
+import (
+	"math"
+	"math/bits"
+)
 
 // RNG is a deterministic xoshiro256** generator. It is not safe for
-// concurrent use; give each goroutine its own (use Split).
+// concurrent use; give each goroutine its own (use Split). The four state
+// words are named fields rather than an array so Uint64 stays within the
+// compiler's inlining budget.
 type RNG struct {
-	s [4]uint64
+	s0, s1, s2, s3 uint64
 }
 
 // New returns a generator seeded from the given seed via splitmix64.
 func New(seed uint64) *RNG {
 	var r RNG
 	sm := seed
-	for i := range r.s {
+	state := [4]*uint64{&r.s0, &r.s1, &r.s2, &r.s3}
+	for _, p := range state {
 		sm += 0x9e3779b97f4a7c15
 		z := sm
 		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-		r.s[i] = z ^ (z >> 31)
+		*p = z ^ (z >> 31)
 	}
 	// Avoid the all-zero state (splitmix cannot produce it from any seed,
 	// but be defensive).
-	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
-		r.s[0] = 1
+	if r.s0|r.s1|r.s2|r.s3 == 0 {
+		r.s0 = 1
 	}
 	return &r
 }
@@ -59,19 +65,19 @@ func PointSeed(root, index uint64) uint64 {
 	return mix64(mix64(root+0x9e3779b97f4a7c15) ^ (index+1)*0xbf58476d1ce4e5b9)
 }
 
-func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
-
-// Uint64 returns the next 64 random bits.
+// Uint64 returns the next 64 random bits. The body works on locals and
+// uses bits.RotateLeft64 (a compiler intrinsic) so the function fits the
+// inlining budget: the simulator's congestion control draws tens of
+// millions of values per run and the call overhead was measurable.
 func (r *RNG) Uint64() uint64 {
-	s := &r.s
-	result := rotl(s[1]*5, 7) * 9
-	t := s[1] << 17
-	s[2] ^= s[0]
-	s[3] ^= s[1]
-	s[1] ^= s[2]
-	s[0] ^= s[3]
-	s[2] ^= t
-	s[3] = rotl(s[3], 45)
+	s1 := r.s1
+	result := bits.RotateLeft64(s1*5, 7) * 9
+	s2 := r.s2 ^ r.s0
+	s3 := r.s3 ^ s1
+	r.s1 = s1 ^ s2
+	r.s0 ^= s3
+	r.s2 = s2 ^ s1<<17
+	r.s3 = bits.RotateLeft64(s3, 45)
 	return result
 }
 

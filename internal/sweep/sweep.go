@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 	"time"
 
@@ -67,6 +68,11 @@ type Runner struct {
 	// Progress, when non-nil, receives one line per completed point with
 	// a running count, cache-hit tally, elapsed wall time and ETA.
 	Progress io.Writer
+	// PprofLabels attaches runtime/pprof labels ("sweep" = sweep name,
+	// "point" = point key) to each point's execution, so CPU profiles of
+	// a run can be sliced per experiment and per grid point with
+	// `go tool pprof -tagfocus`.
+	PprofLabels bool
 
 	mu        sync.Mutex
 	manifests []SweepManifest
@@ -188,7 +194,15 @@ func (r *Runner) runPoint(ctx context.Context, name string, i int, p Point) ([][
 		}
 	}
 	begin := time.Now()
-	rows, err := p.Run(ctx, seed)
+	var rows [][]string
+	var err error
+	if r.PprofLabels {
+		pprof.Do(ctx, pprof.Labels("sweep", name, "point", p.Key), func(ctx context.Context) {
+			rows, err = p.Run(ctx, seed)
+		})
+	} else {
+		rows, err = p.Run(ctx, seed)
+	}
 	rec.WallNS = time.Since(begin).Nanoseconds()
 	if err != nil {
 		rec.Err = err.Error()
