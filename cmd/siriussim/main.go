@@ -40,7 +40,9 @@ import (
 	"time"
 
 	"sirius/internal/core"
+	"sirius/internal/dc"
 	"sirius/internal/exp"
+	"sirius/internal/fluid"
 	"sirius/internal/sweep"
 )
 
@@ -219,16 +221,38 @@ func run(args []string) int {
 			return
 		}
 		cells0, slots0 := core.Counters()
+		flows0, events0 := fluid.Counters()
+		dcFlows0, racks0 := dc.Counters()
 		t0 := time.Now()
 		tab, err := r()
 		if *perf {
 			wall := time.Since(t0)
 			cells, slots := core.Counters()
-			if dc := cells - cells0; dc > 0 && wall > 0 {
+			flows, events := fluid.Counters()
+			dcFlows, racks := dc.Counters()
+			printed := false
+			if d := cells - cells0; d > 0 && wall > 0 {
 				fmt.Fprintf(os.Stderr, "perf: %-9s %10v wall  %12d cells  %10d slots  %8.2fM cells/s\n",
-					id, wall.Round(time.Millisecond), dc, slots-slots0,
-					float64(dc)/wall.Seconds()/1e6)
-			} else {
+					id, wall.Round(time.Millisecond), d, slots-slots0,
+					float64(d)/wall.Seconds()/1e6)
+				printed = true
+			}
+			// Flow-level work (the fluid ESN baselines and the dc
+			// composition's intra-rack tier) is reported in its own
+			// units: flows and solver events per second.
+			if d := flows - flows0; d > 0 && wall > 0 {
+				fmt.Fprintf(os.Stderr, "perf: %-9s %10v wall  %12d flows  %10d events  %8.2fk flows/s\n",
+					id, wall.Round(time.Millisecond), d, events-events0,
+					float64(d)/wall.Seconds()/1e3)
+				printed = true
+			}
+			if d := dcFlows - dcFlows0; d > 0 && wall > 0 {
+				fmt.Fprintf(os.Stderr, "perf: %-9s %10v wall  %12d dcflows %9d racks  %8.2fk dcflows/s\n",
+					id, wall.Round(time.Millisecond), d, racks-racks0,
+					float64(d)/wall.Seconds()/1e3)
+				printed = true
+			}
+			if !printed {
 				fmt.Fprintf(os.Stderr, "perf: %-9s %10v wall\n", id, wall.Round(time.Millisecond))
 			}
 		}

@@ -23,6 +23,9 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"sirius/internal/core"
 	"sirius/internal/fluid"
@@ -50,6 +53,13 @@ type Config struct {
 	// per server).
 	LocalCells int
 	Seed       uint64
+	// Parallel bounds how many intra-rack fluid simulations run
+	// concurrently: 0 picks GOMAXPROCS, 1 forces the serial path. The
+	// racks are independent systems and their results are merged in
+	// rack-index order either way, so the parallel composition is
+	// byte-identical to the serial one (pinned by
+	// TestParallelMatchesSerial and the golden fixtures).
+	Parallel int
 }
 
 // DefaultConfig mirrors the paper's §7 deployment shape at the given
@@ -96,6 +106,20 @@ type Results struct {
 	PeakLocalBytes int
 }
 
+// Process-wide observability counters (mirrors core.Counters and
+// fluid.Counters): cumulative flows completed by dc runs and intra-rack
+// fluid simulations executed, for cmd/siriussim's -perf summary.
+var (
+	statFlows    atomic.Int64
+	statRackRuns atomic.Int64
+)
+
+// Counters reports the cumulative number of server-level flows completed
+// and intra-rack simulations executed by every Run in this process.
+func Counters() (flows, rackRuns int64) {
+	return statFlows.Load(), statRackRuns.Load()
+}
+
 // Run simulates server-level flows to completion.
 func Run(cfg Config, flows []workload.Flow) (*Results, error) {
 	return RunContext(context.Background(), cfg, flows)
@@ -135,10 +159,27 @@ func RunContext(ctx context.Context, cfg Config, flows []workload.Flow) (*Result
 	}
 
 	// Partition into intra-rack traffic (per rack) and inter-rack
-	// traffic (rack-granularity endpoints for the fabric).
+	// traffic (rack-granularity endpoints for the fabric). A counting
+	// pre-pass sizes every slice exactly, so the fill pass appends into
+	// preallocated capacity and the partition allocates nothing beyond
+	// the slices themselves.
+	intraCount := make([]int, cfg.Racks)
+	interCount := 0
+	for _, f := range flows {
+		if sr, dr := cfg.RackOf(f.Src), cfg.RackOf(f.Dst); sr == dr {
+			intraCount[sr]++
+		} else {
+			interCount++
+		}
+	}
 	intraByRack := make([][]workload.Flow, cfg.Racks)
-	var inter []workload.Flow
-	var interOrig []workload.Flow // original server endpoints, same order
+	for r, n := range intraCount {
+		if n > 0 {
+			intraByRack[r] = make([]workload.Flow, 0, n)
+		}
+	}
+	inter := make([]workload.Flow, 0, interCount)
+	interOrig := make([]workload.Flow, 0, interCount) // original server endpoints, same order
 	res := &Results{Flows: len(flows)}
 	var window simtime.Time
 	for _, f := range flows {
@@ -171,20 +212,18 @@ func RunContext(ctx context.Context, cfg Config, flows []workload.Flow) (*Result
 	}
 	var windowBytes int64
 
-	// Intra-rack traffic: per-rack max-min sharing of server NICs.
-	for rack, fl := range intraByRack {
-		if len(fl) == 0 {
+	// Intra-rack traffic: per-rack max-min sharing of server NICs. The
+	// racks are independent systems, so their fluid simulations fan out
+	// over a bounded worker pool; the results land in a rack-indexed
+	// slice and are folded below in rack order, making the parallel
+	// composition byte-identical to a serial run.
+	rackRes, err := runRacks(ctx, cfg, intraByRack)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rackRes {
+		if r == nil {
 			continue
-		}
-		r, err := fluid.RunContext(ctx, fluid.Config{
-			Endpoints:    cfg.ServersPerRack,
-			EndpointRate: cfg.ServerRate,
-			Oversub:      1,
-			// Two store-and-forward hops through the rack switch.
-			BaseRTT: 2 * cfg.ServerRate.TimeToSend(1500),
-		}, fl)
-		if err != nil {
-			return nil, fmt.Errorf("dc: rack %d intra traffic: %w", rack, err)
 		}
 		res.Completed += r.Completed
 		res.DeliveredBytes += r.DeliveredBytes
@@ -256,5 +295,96 @@ func RunContext(ctx context.Context, cfg Config, flows []workload.Flow) (*Result
 		res.ServerGoodput = float64(windowBytes) * 8 /
 			(window.Seconds() * float64(servers) * float64(cfg.ServerRate))
 	}
+	statFlows.Add(int64(res.Completed))
 	return res, nil
+}
+
+// rackFluid runs one rack's intra-rack traffic through the max-min fluid
+// model of its internal switching.
+func rackFluid(ctx context.Context, cfg Config, fl []workload.Flow) (*fluid.Results, error) {
+	return fluid.RunContext(ctx, fluid.Config{
+		Endpoints:    cfg.ServersPerRack,
+		EndpointRate: cfg.ServerRate,
+		Oversub:      1,
+		// Two store-and-forward hops through the rack switch.
+		BaseRTT: 2 * cfg.ServerRate.TimeToSend(1500),
+	}, fl)
+}
+
+// runRacks executes the per-rack intra-rack simulations, serially or on a
+// bounded worker pool per cfg.Parallel, and returns the results indexed
+// by rack (nil for racks without intra-rack traffic). Each rack is an
+// independent simulation with its own engine state, so execution order
+// cannot affect any rack's output; the caller folds the slice in rack
+// order, so the merged result is identical regardless of worker count.
+func runRacks(ctx context.Context, cfg Config, intraByRack [][]workload.Flow) ([]*fluid.Results, error) {
+	work := make([]int, 0, len(intraByRack))
+	for rack, fl := range intraByRack {
+		if len(fl) > 0 {
+			work = append(work, rack)
+		}
+	}
+	statRackRuns.Add(int64(len(work)))
+	out := make([]*fluid.Results, len(intraByRack))
+	workers := cfg.Parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(work) {
+		workers = len(work)
+	}
+	if workers <= 1 {
+		// Serial path: poll ctx between racks so a cancelled sweep stops
+		// at a rack boundary even when individual racks are tiny.
+		for _, rack := range work {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			r, err := rackFluid(ctx, cfg, intraByRack[rack])
+			if err != nil {
+				return nil, fmt.Errorf("dc: rack %d intra traffic: %w", rack, err)
+			}
+			out[rack] = r
+		}
+		return out, nil
+	}
+	// Parallel path: racks are handed out through a buffered index
+	// channel; the first failure cancels the shared context so the
+	// remaining racks abort promptly.
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	jobs := make(chan int, len(work))
+	for _, rack := range work {
+		jobs <- rack
+	}
+	close(jobs)
+	errs := make([]error, len(intraByRack))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rack := range jobs {
+				r, err := rackFluid(cctx, cfg, intraByRack[rack])
+				if err != nil {
+					errs[rack] = err
+					cancel()
+					continue
+				}
+				out[rack] = r
+			}
+		}()
+	}
+	wg.Wait()
+	// Prefer the caller's cancellation over the induced per-rack ctx
+	// errors, then report the lowest-numbered failing rack.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for rack, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("dc: rack %d intra traffic: %w", rack, err)
+		}
+	}
+	return out, nil
 }

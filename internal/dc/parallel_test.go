@@ -1,0 +1,93 @@
+package dc
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"sirius/internal/simtime"
+	"sirius/internal/workload"
+)
+
+// TestParallelMatchesSerial pins the tentpole contract of the rack-fan-out:
+// the merged Results of a parallel run are deep-equal to the serial run —
+// not just summary statistics, but every FCT observation in the same
+// order, so percentiles, CDFs and goodput are byte-identical downstream.
+func TestParallelMatchesSerial(t *testing.T) {
+	c := smallConfig()
+	flows := serverFlows(t, c, 1000, 17)
+
+	serialCfg := c
+	serialCfg.Parallel = 1
+	want, err := Run(serialCfg, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.IntraRack == 0 || want.InterRack == 0 {
+		t.Fatalf("workload must mix traffic (intra %d, inter %d)", want.IntraRack, want.InterRack)
+	}
+	for _, workers := range []int{0, 2, 4, 16} {
+		pcfg := c
+		pcfg.Parallel = workers
+		got, err := Run(pcfg, flows)
+		if err != nil {
+			t.Fatalf("Parallel=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(want.FCTAll.Values(), got.FCTAll.Values()) {
+			t.Errorf("Parallel=%d: FCTAll observations diverge from serial", workers)
+		}
+		if !reflect.DeepEqual(want.FCTShort.Values(), got.FCTShort.Values()) {
+			t.Errorf("Parallel=%d: FCTShort observations diverge from serial", workers)
+		}
+		if want.Completed != got.Completed || want.DeliveredBytes != got.DeliveredBytes ||
+			want.ServerGoodput != got.ServerGoodput ||
+			want.PeakLocalBytes != got.PeakLocalBytes {
+			t.Errorf("Parallel=%d: summary diverges: serial %+v parallel %+v",
+				workers, want, got)
+		}
+	}
+}
+
+// TestParallelCancellation checks that both rack-execution paths abort
+// with the context's error instead of returning partial results.
+func TestParallelCancellation(t *testing.T) {
+	c := smallConfig()
+	// Intra-rack only, so cancellation must surface from the rack loop
+	// itself rather than the fabric simulation.
+	var flows []workload.Flow
+	var at simtime.Time
+	for i := 0; i < 4000; i++ {
+		at = at.Add(500 * simtime.Nanosecond)
+		rack := i % c.Racks
+		base := rack * c.ServersPerRack
+		flows = append(flows, workload.Flow{ID: i, Src: base + i%c.ServersPerRack,
+			Dst: base + (i+1)%c.ServersPerRack, Bytes: 50_000, Arrival: at})
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		pcfg := c
+		pcfg.Parallel = workers
+		if _, err := RunContext(ctx, pcfg, flows); err != context.Canceled {
+			t.Errorf("Parallel=%d: want context.Canceled, got %v", workers, err)
+		}
+	}
+}
+
+// TestCountersAdvance checks the process-wide dc counters move when a
+// run completes.
+func TestCountersAdvance(t *testing.T) {
+	f0, r0 := Counters()
+	c := smallConfig()
+	res, err := Run(c, serverFlows(t, c, 200, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, r1 := Counters()
+	if f1-f0 != int64(res.Completed) {
+		t.Errorf("flow counter advanced by %d, want %d", f1-f0, res.Completed)
+	}
+	if r1-r0 <= 0 {
+		t.Errorf("rack-run counter did not advance (%d -> %d)", r0, r1)
+	}
+}

@@ -11,6 +11,43 @@
 // package computes that allocation with progressive filling, re-evaluated
 // at every flow arrival and completion, and integrates flow progress
 // exactly between events.
+//
+// # Performance model
+//
+// The event loop is engineered for throughput and byte-stable output
+// (see DESIGN.md §6 for the full discussion):
+//
+//   - The active set is a dense struct-of-arrays flow table with
+//     swap-remove deletion — no maps, no per-flow heap objects. Iteration
+//     order is deterministic by construction, so float accumulation
+//     (window goodput, FCT sums) is run-to-run identical, which the old
+//     map-based loop was not.
+//   - Arrivals are consumed from the (already sorted) input by a cursor;
+//     the next completion is an exact min-reduction fused with the
+//     progress-integration pass over the dense table. Integration MUST
+//     touch every positive-rate flow per event anyway — the pre-rewrite
+//     solver decremented `remaining` per event, and reproducing its
+//     output bit-for-bit (the golden-fixture contract) forbids lazy
+//     "virtual finish time" bookkeeping whose float drift, while tiny,
+//     would change completions by ulps. Fusing the min into that
+//     mandatory pass makes next-event selection free.
+//   - The max-min solver keeps per-constraint membership counts AND the
+//     per-constraint fair share caps[c]/counts[c] incrementally (at most
+//     four integer adds and divisions per event), resets solver state
+//     with memcopies, and marks frozen flows with an epoch stamp. Each
+//     progressive-filling round selects its bottleneck from the share
+//     cache — via an indexed min-heap keyed by (share, index) on large
+//     fabrics, a linear compare scan on small ones; both orders are
+//     exactly the reference ascending-index strict-< scan — and freezes
+//     only the flows crossing it, found through per-constraint member
+//     lists (CSR layout) rebuilt per allocation from the exact
+//     membership counts. The steady-state event loop performs zero heap
+//     allocations (pinned by TestEventLoopZeroAlloc).
+//
+// Run-to-run determinism note: the pre-rewrite implementation iterated a
+// Go map when accumulating the window-goodput integral, so GoodputNorm
+// jittered in its last one or two bits between runs. The dense table
+// fixes the summation order; output is now fully deterministic.
 package fluid
 
 import (
@@ -18,6 +55,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 
 	"sirius/internal/metrics"
 	"sirius/internal/simtime"
@@ -54,12 +92,20 @@ type Results struct {
 	FCTAll, FCTShort metrics.Sample
 }
 
-type flowState struct {
-	src, dst  int
-	remaining float64 // bits
-	rate      float64 // bits/s
-	bytes     int
-	arrival   simtime.Time
+// Process-wide observability counters, exposed so cmd/siriussim can print
+// a flows/sec summary per experiment without threading state through the
+// harness (mirrors core.Counters). Cumulative across every Run in the
+// process; updated once per completed run, not per event.
+var (
+	statFlows  atomic.Int64
+	statEvents atomic.Int64
+)
+
+// Counters reports the cumulative number of flows completed and events
+// (arrivals plus completions) processed by every Run in this process.
+// Snapshot before and after a workload to compute its flows/sec.
+func Counters() (flows, events int64) {
+	return statFlows.Load(), statEvents.Load()
 }
 
 // Run simulates the flows to completion.
@@ -71,6 +117,118 @@ func Run(cfg Config, flows []workload.Flow) (*Results, error) {
 // periodically and returns ctx.Err() when it is done, mirroring
 // core.RunContext so sweep workers over the ESN baseline abort promptly.
 func RunContext(ctx context.Context, cfg Config, flows []workload.Flow) (*Results, error) {
+	e, err := newEngine(cfg, flows)
+	if err != nil {
+		return nil, err
+	}
+	for !e.done() {
+		// Poll for cancellation every so many events; each event does
+		// O(active) work, so this bounds the abort latency tightly.
+		if e.events++; e.events&0x3ff == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		if err := e.step(); err != nil {
+			return nil, err
+		}
+	}
+	return e.finish(), nil
+}
+
+// sortedByArrival reports whether the flows are already in non-decreasing
+// arrival order (workload.Generate guarantees it, so the common case
+// skips the defensive copy + stable sort entirely).
+func sortedByArrival(flows []workload.Flow) bool {
+	for i := 1; i < len(flows); i++ {
+		if flows[i].Arrival < flows[i-1].Arrival {
+			return false
+		}
+	}
+	return true
+}
+
+// engine is the dense event-loop state. One engine runs one workload;
+// step() processes a single event (arrival or completion) so tests can
+// drive and measure the loop directly.
+type engine struct {
+	cfg     Config
+	ordered []workload.Flow
+	next    int   // arrival cursor into ordered
+	events  int64 // events processed (cancellation-poll cadence)
+
+	now        float64 // seconds
+	windowEnd  float64 // last arrival: goodput window end
+	windowBits float64
+	deliveredB int64
+
+	res *Results
+
+	// Dense active-flow table (struct of arrays, swap-remove on
+	// completion). Backing arrays are sized to len(flows) up front — the
+	// peak active count cannot exceed it — so the loop never reallocates.
+	nAct      int
+	remaining []float64 // bits
+	rate      []float64 // bits/s
+	cons      [][4]int32
+	bytes     []int
+	arrival   []simtime.Time
+	frozen    []int64 // allocate() epoch stamps, parallel to the table
+
+	// Max-min solver state. Constraint layout: [0,n) endpoint egress,
+	// [n,2n) endpoint ingress, then per-rack egress and ingress when
+	// oversubscribed.
+	//
+	// shares0 caches caps0[c]/counts0[c] (the round-0 fair share of every
+	// constraint; +Inf when unused) and is maintained incrementally as
+	// flows arrive and depart — at most four divisions per event. Inside
+	// allocate the scratch copy is updated whenever a freeze changes a
+	// constraint, so the per-round bottleneck search is a pure compare
+	// scan with no divisions. The cached value is computed by the same
+	// expression the reference implementation evaluated inline
+	// (caps[c]/float64(counts[c])), so the scan observes bit-identical
+	// shares and selects bit-identical bottlenecks.
+	nCons    int
+	rackBase int
+	caps0    []float64 // capacities (bits/s)
+	counts0  []int32   // live membership counts, maintained incrementally
+	shares0  []float64 // live caps0/counts0 cache (+Inf when counts0 == 0)
+	caps     []float64 // allocate() scratch
+	counts   []int32   // allocate() scratch
+	shares   []float64 // allocate() scratch share cache
+	epoch    int64     // allocate() invocation stamp
+
+	// Indexed min-heap over constraints keyed lexicographically by
+	// (shares[c], c). The lexicographic order makes the heap minimum
+	// exactly the constraint the reference ascending-index scan selects:
+	// the lowest-index constraint among those with the strictly smallest
+	// share. heap0/pos0 track the live shares0 across events (at most
+	// four sift fixes per event); allocate() memcopies them into
+	// heap/pos scratch and fixes them as freezes change shares.
+	//
+	// useHeap gates the structure on fabric size: for small constraint
+	// sets a linear compare scan of shares beats the heap's sift
+	// constant, so the heap only pays off past heapMinCons constraints.
+	// Both selection methods observe the same cached shares and the
+	// same (share, lowest-index) order, so they pick bit-identical
+	// bottlenecks — the golden fixtures cover both paths.
+	useHeap bool
+	heap0   []int32 // heap of constraint ids
+	pos0    []int32 // constraint id -> heap0 slot
+	heap    []int32 // allocate() scratch heap
+	pos     []int32 // allocate() scratch positions
+
+	// CSR member lists, rebuilt per allocate() from counts0 (which is
+	// exactly the per-constraint membership count): members[offsets[c]:
+	// offsets[c+1]] lists the dense-table indices of the flows crossing
+	// constraint c, in ascending order — the same order the reference
+	// full-table freeze scan visits them.
+	offsets []int32 // len nCons+1
+	fill    []int32 // len nCons, build cursors
+	members []int32 // cap 4*len(flows)
+}
+
+func newEngine(cfg Config, flows []workload.Flow) (*engine, error) {
 	switch {
 	case cfg.Endpoints < 2:
 		return nil, fmt.Errorf("fluid: need >= 2 endpoints")
@@ -82,6 +240,8 @@ func RunContext(ctx context.Context, cfg Config, flows []workload.Flow) (*Result
 		return nil, fmt.Errorf("fluid: oversubscription needs a rack grouping")
 	case cfg.EndpointsPerRack > 0 && cfg.Endpoints%cfg.EndpointsPerRack != 0:
 		return nil, fmt.Errorf("fluid: endpoints must divide into racks")
+	case len(flows) == 0:
+		return nil, fmt.Errorf("fluid: no flows")
 	}
 	for i, f := range flows {
 		if f.Src < 0 || f.Src >= cfg.Endpoints || f.Dst < 0 || f.Dst >= cfg.Endpoints ||
@@ -92,237 +252,392 @@ func RunContext(ctx context.Context, cfg Config, flows []workload.Flow) (*Result
 			return nil, fmt.Errorf("fluid: flow IDs must equal their index (flow %d has ID %d)", i, f.ID)
 		}
 	}
-	// Sort by arrival (workload.Generate already does; be safe).
-	ordered := make([]workload.Flow, len(flows))
-	copy(ordered, flows)
-	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].Arrival < ordered[j].Arrival })
-
-	s := &solver{cfg: cfg}
-	s.init()
-
-	res := &Results{Flows: len(flows)}
-	active := make(map[int]*flowState)
-	now := 0.0 // seconds
-	next := 0
-	var deliveredB int64
-	// Goodput window: bits delivered by the time of the last arrival
-	// (see the core simulator's GoodputNorm for the rationale).
-	windowEnd := ordered[len(ordered)-1].Arrival.Seconds()
-	var windowBits float64
-	integrate := func(dt float64) {
-		if dt <= 0 {
-			return
-		}
-		overlap := dt
-		if now+dt > windowEnd {
-			overlap = windowEnd - now
-		}
-		for _, f := range active {
-			f.remaining -= f.rate * dt
-			if f.remaining < 0 {
-				f.remaining = 0
-			}
-			if overlap > 0 {
-				windowBits += f.rate * overlap
-			}
-		}
+	// Sort by arrival. workload.Generate already emits sorted flows, so
+	// the defensive copy + stable sort only runs on unsorted input.
+	ordered := flows
+	if !sortedByArrival(flows) {
+		ordered = make([]workload.Flow, len(flows))
+		copy(ordered, flows)
+		sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].Arrival < ordered[j].Arrival })
 	}
 
-	events := 0
-	for len(active) > 0 || next < len(ordered) {
-		// Poll for cancellation every so many events; each event does
-		// O(active) work, so this bounds the abort latency tightly.
-		if events++; events&0x3ff == 0 {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-		}
-		// Next arrival time, if any.
-		arrival := math.Inf(1)
-		if next < len(ordered) {
-			arrival = ordered[next].Arrival.Seconds()
-		}
-		// Next completion time under current rates.
-		completion := math.Inf(1)
-		var doneID int
-		for id, f := range active {
-			if f.rate <= 0 {
-				continue
-			}
-			t := now + f.remaining/f.rate
-			if t < completion {
-				completion, doneID = t, id
-			}
-		}
-		if math.IsInf(arrival, 1) && math.IsInf(completion, 1) {
-			return nil, fmt.Errorf("fluid: stalled with %d active flows", len(active))
-		}
-
-		if arrival <= completion {
-			// Advance to the arrival.
-			integrate(arrival - now)
-			now = arrival
-			fl := ordered[next]
-			next++
-			active[fl.ID] = &flowState{
-				src: fl.Src, dst: fl.Dst,
-				remaining: float64(fl.Bytes) * 8,
-				bytes:     fl.Bytes,
-				arrival:   fl.Arrival,
-			}
-		} else {
-			integrate(completion - now)
-			now = completion
-			f := active[doneID]
-			delete(active, doneID)
-			res.Completed++
-			deliveredB += int64(f.bytes)
-			fct := simtime.Duration((now-f.arrival.Seconds())*float64(simtime.Second)) + cfg.BaseRTT
-			ms := fct.Seconds() * 1e3
-			res.FCTAll.Add(ms)
-			if f.bytes < 100_000 {
-				res.FCTShort.Add(ms)
-			}
-			if t := simtime.Time(now * float64(simtime.Second)); t > res.SimTime {
-				res.SimTime = t
-			}
-		}
-		s.allocate(active)
+	e := &engine{
+		cfg:       cfg,
+		ordered:   ordered,
+		windowEnd: ordered[len(ordered)-1].Arrival.Seconds(),
+		res:       &Results{Flows: len(flows)},
+		remaining: make([]float64, len(flows)),
+		rate:      make([]float64, len(flows)),
+		cons:      make([][4]int32, len(flows)),
+		bytes:     make([]int, len(flows)),
+		arrival:   make([]simtime.Time, len(flows)),
+		frozen:    make([]int64, len(flows)),
 	}
+	// Every flow completes exactly once: reserving the samples up front
+	// keeps the event loop free of append-regrowth allocations.
+	e.res.FCTAll.Reserve(len(flows))
+	e.res.FCTShort.Reserve(len(flows))
 
-	res.DeliveredBytes = deliveredB
-	denom := float64(cfg.Endpoints) * float64(cfg.EndpointRate)
-	if res.SimTime > 0 {
-		res.MakespanGoodput = float64(deliveredB) * 8 / (res.SimTime.Seconds() * denom)
-	}
-	if windowEnd > 0 {
-		res.GoodputNorm = windowBits / (windowEnd * denom)
-	} else {
-		res.GoodputNorm = res.MakespanGoodput
-	}
-	return res, nil
-}
-
-// solver computes max-min rates by progressive filling.
-type solver struct {
-	cfg Config
-
-	// Constraint layout: [0,n) endpoint egress, [n,2n) endpoint ingress,
-	// then per-rack egress and ingress when oversubscribed.
-	nCons    int
-	rackBase int
-	caps0    []float64 // capacities (bits/s)
-
-	caps   []float64
-	counts []int
-	cons   [][4]int32 // per active flow (rebuilt): constraint indices, -1 padded
-	rates  []*flowState
-}
-
-func (s *solver) init() {
-	n := s.cfg.Endpoints
-	s.nCons = 2 * n
-	s.rackBase = 2 * n
+	n := cfg.Endpoints
+	e.nCons = 2 * n
+	e.rackBase = 2 * n
 	rackCap := 0.0
 	racks := 0
-	if s.cfg.Oversub > 1 {
-		racks = n / s.cfg.EndpointsPerRack
-		s.nCons += 2 * racks
-		rackCap = float64(s.cfg.EndpointRate) * float64(s.cfg.EndpointsPerRack) / float64(s.cfg.Oversub)
+	if cfg.Oversub > 1 {
+		racks = n / cfg.EndpointsPerRack
+		e.nCons += 2 * racks
+		rackCap = float64(cfg.EndpointRate) * float64(cfg.EndpointsPerRack) / float64(cfg.Oversub)
 	}
-	s.caps0 = make([]float64, s.nCons)
+	e.caps0 = make([]float64, e.nCons)
 	for i := 0; i < 2*n; i++ {
-		s.caps0[i] = float64(s.cfg.EndpointRate)
+		e.caps0[i] = float64(cfg.EndpointRate)
 	}
 	for i := 0; i < 2*racks; i++ {
-		s.caps0[s.rackBase+i] = rackCap
+		e.caps0[e.rackBase+i] = rackCap
 	}
-	s.caps = make([]float64, s.nCons)
-	s.counts = make([]int, s.nCons)
+	e.caps = make([]float64, e.nCons)
+	e.counts0 = make([]int32, e.nCons)
+	e.counts = make([]int32, e.nCons)
+	e.shares0 = make([]float64, e.nCons)
+	e.shares = make([]float64, e.nCons)
+	e.useHeap = e.nCons >= heapMinCons
+	e.heap0 = make([]int32, e.nCons)
+	e.pos0 = make([]int32, e.nCons)
+	e.heap = make([]int32, e.nCons)
+	e.pos = make([]int32, e.nCons)
+	for i := range e.shares0 {
+		e.shares0[i] = math.Inf(1) // no members yet
+		// The identity permutation is a valid heap for all-equal keys
+		// with the ascending-index tie-break.
+		e.heap0[i] = int32(i)
+		e.pos0[i] = int32(i)
+	}
+	e.offsets = make([]int32, e.nCons+1)
+	e.fill = make([]int32, e.nCons)
+	e.members = make([]int32, 4*len(flows))
+	return e, nil
 }
 
-// constraintsFor returns the constraint indices of a flow.
-func (s *solver) constraintsFor(f *flowState) [4]int32 {
-	n := s.cfg.Endpoints
-	c := [4]int32{int32(f.src), int32(n + f.dst), -1, -1}
-	if s.cfg.Oversub > 1 {
-		srcRack := f.src / s.cfg.EndpointsPerRack
-		dstRack := f.dst / s.cfg.EndpointsPerRack
+// heapMinCons is the constraint-count threshold above which allocate()
+// keeps the bottleneck heap; below it a linear compare scan of the share
+// cache is faster (smaller constant, perfect locality). Chosen so a
+// 64-endpoint non-blocking fabric (128 constraints) is the first to use
+// the heap.
+const heapMinCons = 128
+
+// cLess orders constraint ids lexicographically by (key[c], c): strictly
+// smaller share first, lowest index among equal shares. The heap minimum
+// under this order is exactly what the reference ascending-index
+// strict-< scan selects.
+func cLess(a, b int32, key []float64) bool {
+	ka, kb := key[a], key[b]
+	return ka < kb || (ka == kb && a < b)
+}
+
+func siftUp(h, pos []int32, key []float64, i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !cLess(h[i], h[p], key) {
+			return
+		}
+		h[i], h[p] = h[p], h[i]
+		pos[h[i]], pos[h[p]] = int32(i), int32(p)
+		i = p
+	}
+}
+
+func siftDown(h, pos []int32, key []float64, i int) {
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && cLess(h[r], h[l], key) {
+			m = r
+		}
+		if !cLess(h[m], h[i], key) {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		pos[h[i]], pos[h[m]] = int32(i), int32(m)
+		i = m
+	}
+}
+
+// heapFix restores the heap invariant after key[c] changed.
+func heapFix(h, pos []int32, key []float64, c int32) {
+	i := int(pos[c])
+	siftUp(h, pos, key, i)
+	siftDown(h, pos, key, int(pos[c]))
+}
+
+// constraintsFor returns the constraint indices of a flow, -1 padded.
+func (e *engine) constraintsFor(src, dst int) [4]int32 {
+	n := e.cfg.Endpoints
+	c := [4]int32{int32(src), int32(n + dst), -1, -1}
+	if e.cfg.Oversub > 1 {
+		srcRack := src / e.cfg.EndpointsPerRack
+		dstRack := dst / e.cfg.EndpointsPerRack
 		if srcRack != dstRack { // intra-rack traffic skips the aggregation tier
-			racks := n / s.cfg.EndpointsPerRack
-			c[2] = int32(s.rackBase + srcRack)
-			c[3] = int32(s.rackBase + racks + dstRack)
+			racks := n / e.cfg.EndpointsPerRack
+			c[2] = int32(e.rackBase + srcRack)
+			c[3] = int32(e.rackBase + racks + dstRack)
 		}
 	}
 	return c
 }
 
-// allocate computes max-min fair rates for the active flows.
-func (s *solver) allocate(active map[int]*flowState) {
-	copy(s.caps, s.caps0)
-	for i := range s.counts {
-		s.counts[i] = 0
+func (e *engine) done() bool { return e.nAct == 0 && e.next >= len(e.ordered) }
+
+// step advances the simulation by one event (the earlier of the next
+// arrival and the next completion), then recomputes max-min rates.
+func (e *engine) step() error {
+	// Next arrival time, if any.
+	arrival := math.Inf(1)
+	if e.next < len(e.ordered) {
+		arrival = e.ordered[e.next].Arrival.Seconds()
 	}
-	s.rates = s.rates[:0]
-	s.cons = s.cons[:0]
-	// Deterministic order (map iteration is not): sort by pointer-free id
-	// via collecting and sorting by (src, dst, remaining) is overkill —
-	// rates are the unique max-min solution, independent of order.
-	for _, f := range active {
-		f.rate = 0
-		cs := s.constraintsFor(f)
-		s.rates = append(s.rates, f)
-		s.cons = append(s.cons, cs)
+	// Next completion time under current rates: an exact min-reduction
+	// over the dense table (ties resolve to the lowest table index).
+	completion := math.Inf(1)
+	doneIdx := -1
+	now := e.now
+	for i := 0; i < e.nAct; i++ {
+		r := e.rate[i]
+		if r <= 0 {
+			continue
+		}
+		if t := now + e.remaining[i]/r; t < completion {
+			completion, doneIdx = t, i
+		}
+	}
+	if math.IsInf(arrival, 1) && math.IsInf(completion, 1) {
+		return fmt.Errorf("fluid: stalled with %d active flows", e.nAct)
+	}
+
+	if arrival <= completion {
+		e.integrate(arrival - now)
+		e.now = arrival
+		fl := e.ordered[e.next]
+		e.next++
+		i := e.nAct
+		e.nAct++
+		e.remaining[i] = float64(fl.Bytes) * 8
+		e.rate[i] = 0
+		e.bytes[i] = fl.Bytes
+		e.arrival[i] = fl.Arrival
+		cs := e.constraintsFor(fl.Src, fl.Dst)
+		e.cons[i] = cs
 		for _, c := range cs {
 			if c >= 0 {
-				s.counts[c]++
+				e.counts0[c]++
+				e.shares0[c] = e.caps0[c] / float64(e.counts0[c])
+				if e.useHeap {
+					heapFix(e.heap0, e.pos0, e.shares0, c)
+				}
+			}
+		}
+	} else {
+		e.integrate(completion - now)
+		e.now = completion
+		e.res.Completed++
+		e.deliveredB += int64(e.bytes[doneIdx])
+		fct := simtime.Duration((completion-e.arrival[doneIdx].Seconds())*float64(simtime.Second)) + e.cfg.BaseRTT
+		ms := fct.Seconds() * 1e3
+		e.res.FCTAll.Add(ms)
+		if e.bytes[doneIdx] < 100_000 {
+			e.res.FCTShort.Add(ms)
+		}
+		if t := simtime.Time(completion * float64(simtime.Second)); t > e.res.SimTime {
+			e.res.SimTime = t
+		}
+		// Swap-remove from the dense table.
+		for _, c := range e.cons[doneIdx] {
+			if c >= 0 {
+				if e.counts0[c]--; e.counts0[c] > 0 {
+					e.shares0[c] = e.caps0[c] / float64(e.counts0[c])
+				} else {
+					e.shares0[c] = math.Inf(1)
+				}
+				if e.useHeap {
+					heapFix(e.heap0, e.pos0, e.shares0, c)
+				}
+			}
+		}
+		last := e.nAct - 1
+		if doneIdx != last {
+			e.remaining[doneIdx] = e.remaining[last]
+			e.rate[doneIdx] = e.rate[last]
+			e.cons[doneIdx] = e.cons[last]
+			e.bytes[doneIdx] = e.bytes[last]
+			e.arrival[doneIdx] = e.arrival[last]
+		}
+		e.nAct = last
+	}
+	e.allocate()
+	return nil
+}
+
+// integrate advances every active flow by dt seconds at its current rate
+// and accrues the goodput-window integral. Zero-rate flows are skipped:
+// x - 0*dt == x and windowBits + 0 == windowBits exactly, so the skip is
+// arithmetically identical to the reference implementation.
+func (e *engine) integrate(dt float64) {
+	if dt <= 0 {
+		return
+	}
+	overlap := dt
+	if e.now+dt > e.windowEnd {
+		overlap = e.windowEnd - e.now
+	}
+	remaining, rate := e.remaining, e.rate
+	if overlap > 0 {
+		var bits float64
+		for i := 0; i < e.nAct; i++ {
+			r := rate[i]
+			if r == 0 {
+				continue
+			}
+			v := remaining[i] - r*dt
+			if v < 0 {
+				v = 0
+			}
+			remaining[i] = v
+			bits += r * overlap
+		}
+		e.windowBits += bits
+		return
+	}
+	for i := 0; i < e.nAct; i++ {
+		r := rate[i]
+		if r == 0 {
+			continue
+		}
+		v := remaining[i] - r*dt
+		if v < 0 {
+			v = 0
+		}
+		remaining[i] = v
+	}
+}
+
+// allocate computes max-min fair rates for the active flows by
+// progressive filling. The resulting rate vector is the unique max-min
+// solution and is independent of flow iteration order (within a round
+// every frozen flow subtracts the same share, and float subtraction of a
+// repeated constant commutes), so the dense-order iteration reproduces
+// the reference map-order implementation bit for bit. Constraint
+// membership counts are maintained incrementally on arrival/departure;
+// here they are restored with two memcopies instead of a full rebuild,
+// and frozen flows are marked with an epoch stamp instead of a freshly
+// allocated bool slice.
+func (e *engine) allocate() {
+	copy(e.caps, e.caps0)
+	copy(e.counts, e.counts0)
+	copy(e.shares, e.shares0)
+	useHeap := e.useHeap
+	if useHeap {
+		copy(e.heap, e.heap0)
+		copy(e.pos, e.pos0)
+	}
+	e.epoch++
+	epoch := e.epoch
+	nAct := e.nAct
+	// Build the CSR member lists: counts0 is exactly the per-constraint
+	// membership count, so the offsets are its prefix sum, and a single
+	// ascending pass over the table fills each list in ascending
+	// dense-table order — the order the reference freeze scan visits.
+	off := e.offsets
+	off[0] = 0
+	for c := 0; c < e.nCons; c++ {
+		off[c+1] = off[c] + e.counts0[c]
+		e.fill[c] = off[c]
+	}
+	for i := 0; i < nAct; i++ {
+		e.rate[i] = 0
+		cs := &e.cons[i]
+		for _, c := range cs {
+			if c >= 0 {
+				e.members[e.fill[c]] = int32(i)
+				e.fill[c]++
 			}
 		}
 	}
-	unfrozen := len(s.rates)
-	frozen := make([]bool, len(s.rates))
+	shares := e.shares
+	heap, pos, members := e.heap, e.pos, e.members
+	unfrozen := nAct
 	for unfrozen > 0 {
-		// Find the tightest constraint.
-		best, bestShare := -1, math.Inf(1)
-		for c := 0; c < s.nCons; c++ {
-			if s.counts[c] == 0 {
-				continue
-			}
-			share := s.caps[c] / float64(s.counts[c])
-			if share < bestShare {
-				best, bestShare = c, share
-			}
-		}
-		if best < 0 {
-			break
-		}
-		// Freeze every unfrozen flow crossing the bottleneck.
-		for i, cs := range s.cons {
-			if frozen[i] {
-				continue
-			}
-			hit := false
-			for _, c := range cs {
-				if int(c) == best {
-					hit = true
-					break
+		// Pick the tightest constraint: shares[] caches
+		// caps[c]/float64(counts[c]) — the identical expression the
+		// reference evaluated inline, +Inf for empty constraints. The
+		// heap minimum under the (share, index) order and the linear
+		// ascending strict-< scan select the same lowest-index minimum.
+		var b int32
+		var bestShare float64
+		if useHeap {
+			b = heap[0]
+			bestShare = shares[b]
+		} else {
+			b, bestShare = 0, shares[0]
+			for c := 1; c < e.nCons; c++ {
+				if s := shares[c]; s < bestShare {
+					b, bestShare = int32(c), s
 				}
 			}
-			if !hit {
+		}
+		if math.IsInf(bestShare, 1) {
+			break // no constraint has members (defensive, as before)
+		}
+		// Freeze every unfrozen flow crossing the bottleneck. The member
+		// list visits exactly the flows the reference full-table scan
+		// would freeze, in the same ascending order. After the loop every
+		// member is frozen, so counts[b] is 0, shares[b] is +Inf, and b
+		// has sunk in the heap: each bottleneck is selected at most once.
+		for k := off[b]; k < off[b+1]; k++ {
+			i := int(members[k])
+			if e.frozen[i] == epoch {
 				continue
 			}
-			frozen[i] = true
+			e.frozen[i] = epoch
 			unfrozen--
-			s.rates[i].rate = bestShare
+			e.rate[i] = bestShare
+			cs := &e.cons[i]
 			for _, c := range cs {
 				if c >= 0 {
-					s.caps[c] -= bestShare
-					if s.caps[c] < 0 {
-						s.caps[c] = 0
+					e.caps[c] -= bestShare
+					if e.caps[c] < 0 {
+						e.caps[c] = 0
 					}
-					s.counts[c]--
+					if e.counts[c]--; e.counts[c] > 0 {
+						shares[c] = e.caps[c] / float64(e.counts[c])
+					} else {
+						shares[c] = math.Inf(1)
+					}
+					if useHeap {
+						heapFix(heap, pos, shares, c)
+					}
 				}
 			}
 		}
 	}
+}
+
+// finish assembles the Results and publishes the process-wide counters.
+func (e *engine) finish() *Results {
+	res := e.res
+	res.DeliveredBytes = e.deliveredB
+	denom := float64(e.cfg.Endpoints) * float64(e.cfg.EndpointRate)
+	if res.SimTime > 0 {
+		res.MakespanGoodput = float64(e.deliveredB) * 8 / (res.SimTime.Seconds() * denom)
+	}
+	if e.windowEnd > 0 {
+		res.GoodputNorm = e.windowBits / (e.windowEnd * denom)
+	} else {
+		res.GoodputNorm = res.MakespanGoodput
+	}
+	statFlows.Add(int64(res.Completed))
+	statEvents.Add(e.events)
+	return res
 }

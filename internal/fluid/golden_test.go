@@ -1,0 +1,163 @@
+package fluid
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"sirius/internal/simtime"
+	"sirius/internal/workload"
+)
+
+// The golden determinism tests pin the fluid solver's observable output at
+// fixed seeds. The fixtures under testdata/ were generated BEFORE the
+// heap-driven dense-active-list rewrite of the event loop, so a passing
+// run proves the optimized solver is output-preserving against the
+// reference progressive-filling implementation — the PR's hard constraint.
+//
+// One field is canonicalized rather than exact: GoodputNorm. The
+// pre-change code accumulated the window-goodput integral by iterating a
+// Go map (`for _, f := range active { windowBits += ... }`), so its last
+// one or two bits were run-dependent even at a fixed seed (measured:
+// ~2e-16 relative jitter). The fixture therefore stores GoodputNorm
+// formatted to 12 significant digits — far beyond any physical meaning,
+// tight enough to catch real regressions — while every other field is the
+// full-precision value, which the reference implementation reproduces
+// bit-for-bit. The rewritten solver integrates in flow order, so its
+// output is fully deterministic by construction.
+//
+// Regenerate (only on an intentional semantic change) with:
+//
+//	go test ./internal/fluid -run TestGolden -update-golden
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the golden determinism fixtures")
+
+// goldenSummary is the canonical JSON-stable projection of Results.
+type goldenSummary struct {
+	Flows           int
+	Completed       int
+	SimTimeNS       int64
+	DeliveredBytes  int64
+	GoodputNorm12   string // 12 significant digits; see the package comment above
+	MakespanGoodput float64
+	FCTAllCount     int
+	FCTAllMean      float64
+	FCTAllMin       float64
+	FCTAllP50       float64
+	FCTAllP99       float64
+	FCTAllMax       float64
+	FCTShortCount   int
+	FCTShortP99     float64
+}
+
+func summarize(res *Results) goldenSummary {
+	g := goldenSummary{
+		Flows:           res.Flows,
+		Completed:       res.Completed,
+		SimTimeNS:       int64(res.SimTime),
+		DeliveredBytes:  res.DeliveredBytes,
+		GoodputNorm12:   strconv.FormatFloat(res.GoodputNorm, 'g', 12, 64),
+		MakespanGoodput: res.MakespanGoodput,
+		FCTAllCount:     res.FCTAll.Count(),
+		FCTShortCount:   res.FCTShort.Count(),
+	}
+	if g.FCTAllCount > 0 {
+		g.FCTAllMean = res.FCTAll.Mean()
+		g.FCTAllMin = res.FCTAll.Min()
+		g.FCTAllP50 = res.FCTAll.Percentile(50)
+		g.FCTAllP99 = res.FCTAll.Percentile(99)
+		g.FCTAllMax = res.FCTAll.Max()
+	}
+	if g.FCTShortCount > 0 {
+		g.FCTShortP99 = res.FCTShort.Percentile(99)
+	}
+	return g
+}
+
+// goldenCases covers both fabric variants (non-blocking and 3:1
+// oversubscribed), a short-flow-dominated workload and a large
+// high-load run. Everything is derived from constants so the only
+// degree of freedom is the code.
+func goldenCases(t *testing.T) map[string]func() (Config, []workload.Flow) {
+	t.Helper()
+	gen := func(nodes int, load, mean float64, flows int, seed uint64) []workload.Flow {
+		wcfg := workload.DefaultConfig(nodes, 400*simtime.Gbps, load, flows)
+		wcfg.MeanFlowBytes = mean
+		wcfg.Seed = seed
+		fl, err := workload.Generate(wcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fl
+	}
+	return map[string]func() (Config, []workload.Flow){
+		"ideal": func() (Config, []workload.Flow) {
+			return Config{Endpoints: 32, EndpointRate: 400 * simtime.Gbps, Oversub: 1,
+				BaseRTT: simtime.Microsecond}, gen(32, 0.8, 100e3, 1500, 11)
+		},
+		"osub3": func() (Config, []workload.Flow) {
+			return Config{Endpoints: 32, EndpointRate: 400 * simtime.Gbps,
+				EndpointsPerRack: 8, Oversub: 3,
+				BaseRTT: simtime.Microsecond}, gen(32, 0.8, 100e3, 1500, 13)
+		},
+		"shortflows": func() (Config, []workload.Flow) {
+			return Config{Endpoints: 16, EndpointRate: 400 * simtime.Gbps,
+				Oversub: 1}, gen(16, 0.6, 2e3, 1000, 5)
+		},
+		"heavyload": func() (Config, []workload.Flow) {
+			return Config{Endpoints: 64, EndpointRate: 400 * simtime.Gbps,
+				Oversub: 1, BaseRTT: simtime.Microsecond}, gen(64, 0.95, 100e3, 2500, 7)
+		},
+	}
+}
+
+func TestGoldenDeterminism(t *testing.T) {
+	for name, build := range goldenCases(t) {
+		t.Run(name, func(t *testing.T) {
+			cfg, flows := build()
+			res, err := Run(cfg, flows)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := json.MarshalIndent(summarize(res), "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, '\n')
+			path := filepath.Join("testdata", "golden_"+name+".json")
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("golden fixture missing (run with -update-golden): %v", err)
+			}
+			if string(got) != string(want) {
+				t.Errorf("results diverge from the golden fixture %s\n got: %s\nwant: %s",
+					path, got, want)
+			}
+			// A second run in the same process must match too (no hidden
+			// global state).
+			res2, err := Run(cfg, flows)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got2, err := json.MarshalIndent(summarize(res2), "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(append(got2, '\n')) != string(got) {
+				t.Error("re-run in the same process diverged")
+			}
+		})
+	}
+}

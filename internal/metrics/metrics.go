@@ -18,6 +18,19 @@ type Sample struct {
 	sum    float64
 }
 
+// Reserve grows the sample's capacity to hold at least n observations in
+// total, so a caller that knows its observation count up front (e.g. one
+// FCT per flow) can keep Add free of append regrowth — a requirement of
+// the fluid event loop's zero-allocation contract.
+func (s *Sample) Reserve(n int) {
+	if n <= cap(s.vals) {
+		return
+	}
+	vals := make([]float64, len(s.vals), n)
+	copy(vals, s.vals)
+	s.vals = vals
+}
+
 // Add records one observation.
 func (s *Sample) Add(v float64) {
 	s.vals = append(s.vals, v)
