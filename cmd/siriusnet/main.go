@@ -15,6 +15,14 @@
 //
 // -flip injects per-bit corruption (emulating operation below receiver
 // sensitivity); the PRBS checkers must detect exactly that rate.
+//
+// Fault injection (§4.5): -faultplan loads a scripted, seeded plan of
+// crashes, restarts, grey blackholes, BER degradations, and stalls
+// (internal/fault JSON); -kill-node/-kill-epoch is shorthand for the
+// common fail-stop case. All roles accept the same flags, so a
+// multi-process run injects the same chaos as a single-process one, and
+// the plan's content hash is printed so chaos runs can be named and
+// replayed byte-identically (-seed fixes every random choice).
 package main
 
 import (
@@ -22,6 +30,7 @@ import (
 	"fmt"
 	"os"
 
+	"sirius/internal/fault"
 	"sirius/internal/wire"
 )
 
@@ -35,12 +44,26 @@ func main() {
 		id      = flag.Int("id", 0, "node id for -role node")
 		listen  = flag.String("listen", ":9000", "listen address for -role awgr")
 		connect = flag.String("connect", "127.0.0.1:9000", "emulator address for -role node")
+
+		planPath  = flag.String("faultplan", "", "JSON fault plan to inject (internal/fault format)")
+		killNode  = flag.Int("kill-node", -1, "shorthand: fail-stop this node...")
+		killEpoch = flag.Int("kill-epoch", 0, "...at this fabric epoch")
+		seed      = flag.Uint64("seed", 42, "seed for every random choice (corruption substreams)")
 	)
 	flag.Parse()
 
+	plan, err := loadPlan(*planPath, *killNode, *killEpoch, *seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "siriusnet: %v\n", err)
+		os.Exit(2)
+	}
+	if !plan.Empty() {
+		fmt.Printf("fault plan %s: %d event(s), seed %d\n", plan.Hash(), len(plan.Events), plan.Seed)
+	}
+
 	switch *role {
 	case "awgr":
-		em, err := wire.NewEmulatorAddr(*listen, *nodes, *flip, 42)
+		em, err := wire.NewEmulatorFault(*listen, *nodes, *flip, *seed, plan)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "siriusnet: %v\n", err)
 			os.Exit(1)
@@ -50,7 +73,14 @@ func main() {
 			fmt.Fprintf(os.Stderr, "siriusnet: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("done: routed %d frames\n", em.Routed())
+		fmt.Printf("done: routed %d frames", em.Routed())
+		if d, g := em.Dropped(), em.GreyDropped(); d+g > 0 {
+			fmt.Printf(" (dropped %d, grey-dropped %d)", d, g)
+		}
+		if r := em.Rejected(); r > 0 {
+			fmt.Printf(", rejected %d connection(s)", r)
+		}
+		fmt.Println()
 		return
 	case "node":
 		st, err := wire.RunNode(wire.NodeConfig{
@@ -59,13 +89,13 @@ func main() {
 			Nodes:        *nodes,
 			Epochs:       *epochs,
 			PayloadBytes: *payload,
+			Plan:         plan,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "siriusnet: node %d: %v\n", *id, err)
 			os.Exit(1)
 		}
-		fmt.Printf("node %d: sent %d received %d misrouted %d BER %.3g\n",
-			st.Node, st.Sent, st.Received, st.Misrouted, st.BER())
+		printNode(*st)
 		return
 	case "":
 		// All-in-one below.
@@ -74,22 +104,86 @@ func main() {
 		os.Exit(2)
 	}
 
-	st, err := wire.RunPrototype(*nodes, *epochs, *payload, *flip)
+	fs, err := wire.RunPrototypeCfg(wire.PrototypeConfig{
+		Nodes:        *nodes,
+		Epochs:       *epochs,
+		PayloadBytes: *payload,
+		FlipProb:     *flip,
+		Seed:         *seed,
+		Plan:         plan,
+	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "siriusnet: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("%-6s %10s %10s %10s %12s %12s\n",
-		"node", "sent", "received", "misrouted", "bit_errors", "BER")
+	st := fs.Stats
+	fmt.Printf("%-6s %10s %10s %10s %12s %12s  %s\n",
+		"node", "sent", "received", "misrouted", "bit_errors", "BER", "fate")
 	for _, n := range st.Nodes {
-		fmt.Printf("%-6d %10d %10d %10d %12d %12.3g\n",
-			n.Node, n.Sent, n.Received, n.Misrouted, n.BitErrors, n.BER())
+		fate := "ok"
+		switch {
+		case n.Crashed:
+			fate = "crashed"
+		case n.Ejected:
+			fate = "ejected"
+		case n.Reconnects > 0:
+			fate = fmt.Sprintf("reconnected x%d", n.Reconnects)
+		}
+		fmt.Printf("%-6d %10d %10d %10d %12d %12.3g  %s\n",
+			n.Node, n.Sent, n.Received, n.Misrouted, n.BitErrors, n.BER(), fate)
 	}
 	fmt.Printf("\nframes routed through AWGR emulator: %d\n", st.Routed)
-	fmt.Printf("aggregate BER: %.3g\n", st.BER)
+	for _, f := range fs.Failures {
+		fmt.Printf("failure of node %d: suspected @%d, confirmed @%d, schedule switch @%d\n",
+			f.Peer, f.SuspectEpoch, f.ConfirmEpoch, f.SwitchEpoch)
+	}
+	if fs.SwitchEpoch >= 0 {
+		fmt.Printf("slot utilization: degraded %.3f -> compacted %.3f\n",
+			fs.DegradedGoodput, fs.CompactedGoodput)
+	}
+	fmt.Printf("aggregate BER (survivors): %.3g\n", st.BER)
 	if st.ErrFree {
 		fmt.Println("post-FEC: error-free (BER within the FEC budget)")
 	} else {
 		fmt.Println("post-FEC: NOT error-free")
+	}
+}
+
+// loadPlan assembles the fault plan from -faultplan and/or the
+// -kill-node shorthand.
+func loadPlan(path string, killNode, killEpoch int, seed uint64) (*fault.Plan, error) {
+	var plan *fault.Plan
+	if path != "" {
+		p, err := fault.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		plan = p
+	}
+	if killNode >= 0 {
+		if plan == nil {
+			plan = &fault.Plan{Seed: seed}
+		}
+		plan.Events = append(plan.Events,
+			fault.Event{Kind: fault.Crash, Node: killNode, Epoch: killEpoch})
+	}
+	if plan != nil && plan.Seed == 0 {
+		plan.Seed = seed
+	}
+	return plan, nil
+}
+
+func printNode(st wire.NodeStats) {
+	fmt.Printf("node %d: sent %d received %d misrouted %d BER %.3g reconnects %d\n",
+		st.Node, st.Sent, st.Received, st.Misrouted, st.BER(), st.Reconnects)
+	for _, f := range st.Failures {
+		fmt.Printf("  observed failure of node %d: suspect @%d confirm @%d switch @%d\n",
+			f.Peer, f.SuspectEpoch, f.ConfirmEpoch, f.SwitchEpoch)
+	}
+	if st.Crashed {
+		fmt.Println("  executed scripted crash")
+	}
+	if st.Ejected {
+		fmt.Println("  ejected by the fabric (confirmed failed)")
 	}
 }

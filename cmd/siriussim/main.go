@@ -6,8 +6,8 @@
 //	siriussim -exp all [-parallel N] [-seed S] [-cache=false]
 //
 // Experiments: fig2a fig6a fig6b tuning lasers fig8a fig8b fig8c fig8d
-// timesync budget burst proto fig9 fig10 fig11 fig12 fig13 failure
-// servers ablation custom (with -trace).
+// timesync budget burst proto livefailure fig9 fig10 fig11 fig12 fig13
+// failure servers ablation custom (with -trace).
 //
 // The sweep-shaped experiments (fig9–fig13, failure, servers, ablation)
 // run on the internal/sweep engine: grid points execute on a bounded
@@ -170,7 +170,10 @@ func run(args []string) int {
 		"budget":   func() (*exp.Table, error) { return exp.LinkBudget(), nil },
 		"burst":    func() (*exp.Table, error) { return exp.Burst(), nil },
 		"proto":    func() (*exp.Table, error) { return exp.Prototype(4, 200) },
-		"fig9":     func() (*exp.Table, error) { return exp.Fig9(ctx, runner, sc, loadList) },
+		"livefailure": func() (*exp.Table, error) {
+			return exp.LiveFailure(4, 40, 2, 10, *seed)
+		},
+		"fig9": func() (*exp.Table, error) { return exp.Fig9(ctx, runner, sc, loadList) },
 		"fig10": func() (*exp.Table, error) {
 			return exp.Fig10(ctx, runner, sc, []int{2, 4, 8, 16}, loadList)
 		},
@@ -201,7 +204,7 @@ func run(args []string) int {
 	}
 
 	order := []string{"fig2a", "fig6a", "fig6b", "tuning", "lasers", "fig8a", "fig8b",
-		"fig8c", "fig8d", "timesync", "budget", "burst", "proto",
+		"fig8c", "fig8d", "timesync", "budget", "burst", "proto", "livefailure",
 		"fig9", "fig10", "fig11", "fig12", "fig13", "failure", "servers", "ablation"}
 
 	started := time.Now()

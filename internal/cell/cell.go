@@ -33,13 +33,26 @@ const (
 const (
 	// FlagLast marks the final cell of a flow.
 	FlagLast uint8 = 1 << iota
+	// FlagSuspect marks a cell carrying a piggybacked failure suspicion
+	// (§4.5): Aux names the suspected node and Flow carries the proposed
+	// schedule-switch epoch. The flood rides ordinary data cells — the
+	// cyclic schedule connects every pair once per epoch, so one epoch of
+	// data traffic disseminates a suspicion fabric-wide.
+	FlagSuspect
+	// FlagFin marks a control cell announcing that the sender has
+	// transmitted its final scheduled cell toward the receiver: the
+	// receiver can account the stream closed without a timeout.
+	FlagFin
 )
 
 // Cell is one fixed-size unit of transmission. Src and Dst are node ids;
-// Flow identifies the flow and Seq the cell's position within it.
+// Flow identifies the flow and Seq the cell's position within it. Aux is
+// a one-byte side channel rides in the header's former pad byte; it
+// carries the suspected node id when FlagSuspect is set.
 type Cell struct {
 	Kind    Kind
 	Flags   uint8
+	Aux     uint8
 	Src     uint16
 	Dst     uint16
 	Flow    uint32
@@ -50,6 +63,22 @@ type Cell struct {
 // Last reports whether this is the flow's final cell.
 func (c *Cell) Last() bool { return c.Flags&FlagLast != 0 }
 
+// Suspicion returns the piggybacked failure suspicion, if any: the
+// suspected node id and the proposed fabric-wide schedule-switch epoch.
+func (c *Cell) Suspicion() (peer int, switchEpoch int, ok bool) {
+	if c.Flags&FlagSuspect == 0 {
+		return 0, 0, false
+	}
+	return int(c.Aux), int(c.Flow), true
+}
+
+// SetSuspicion piggybacks a failure suspicion on the cell.
+func (c *Cell) SetSuspicion(peer int, switchEpoch int) {
+	c.Flags |= FlagSuspect
+	c.Aux = uint8(peer)
+	c.Flow = uint32(switchEpoch)
+}
+
 const magic = 0x5C // "Sirius Cell"
 
 // ErrBadCell is returned when decoding malformed bytes.
@@ -58,12 +87,13 @@ var ErrBadCell = errors.New("cell: malformed encoding")
 // Encode appends the wire encoding of c to buf and returns the result.
 // Layout (big endian, as is conventional on the wire):
 //
-//	magic(1) kind(1) flags(1) pad(1) src(2) dst(2) flow(4) seq(4) paylen(4)
+//	magic(1) kind(1) flags(1) aux(1) src(2) dst(2) flow(4) seq(4) paylen(4)
 func (c *Cell) Encode(buf []byte) []byte {
 	var h [HeaderLen]byte
 	h[0] = magic
 	h[1] = byte(c.Kind)
 	h[2] = c.Flags
+	h[3] = c.Aux
 	binary.BigEndian.PutUint16(h[4:], c.Src)
 	binary.BigEndian.PutUint16(h[6:], c.Dst)
 	binary.BigEndian.PutUint32(h[8:], c.Flow)
@@ -93,6 +123,7 @@ func Decode(buf []byte) (Cell, int, error) {
 	c := Cell{
 		Kind:  k,
 		Flags: buf[2],
+		Aux:   buf[3],
 		Src:   binary.BigEndian.Uint16(buf[4:]),
 		Dst:   binary.BigEndian.Uint16(buf[6:]),
 		Flow:  binary.BigEndian.Uint32(buf[8:]),

@@ -36,6 +36,35 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 	}
 }
 
+func TestSuspicionPiggyback(t *testing.T) {
+	c := Cell{Kind: KindData, Src: 2, Dst: 3, Seq: 99, Payload: []byte{1}}
+	if _, _, ok := c.Suspicion(); ok {
+		t.Error("fresh cell already carries a suspicion")
+	}
+	c.SetSuspicion(7, 123)
+	buf := c.Encode(nil)
+	got, _, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peer, sw, ok := got.Suspicion()
+	if !ok || peer != 7 || sw != 123 {
+		t.Errorf("suspicion = (%d,%d,%v), want (7,123,true)", peer, sw, ok)
+	}
+	if got.Aux != 7 || got.Flags&FlagSuspect == 0 {
+		t.Errorf("encoding lost aux/flag: %+v", got)
+	}
+	// FlagFin travels in flags like any other bit.
+	fin := Cell{Kind: KindControl, Flags: FlagFin, Src: 1, Dst: 2}
+	g2, _, err := Decode(fin.Encode(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Flags&FlagFin == 0 {
+		t.Error("FlagFin lost")
+	}
+}
+
 func TestDecodeErrors(t *testing.T) {
 	if _, _, err := Decode([]byte{1, 2, 3}); err == nil {
 		t.Error("short buffer decoded")

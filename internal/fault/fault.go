@@ -1,0 +1,263 @@
+// Package fault is the deterministic fault-injection plane for the live
+// wire testbed (internal/wire): a scripted, seeded plan of failures that
+// the emulator (the "grating") and the node loops consult while a run is
+// in flight.
+//
+// The paper's §4.5 failure classes map onto the plan's event kinds:
+//
+//   - fail-stop node failure  → Crash (the node stops at an epoch boundary)
+//   - transceiver/link flap   → Restart (the node drops its TCP connection
+//     and re-registers with capped exponential backoff)
+//   - grey failure            → Grey (the emulator blackholes one
+//     (input, output) port pair: the node looks alive to everyone except
+//     the observers it has gone dark toward)
+//   - operation below receiver sensitivity → Degrade (per-input-port
+//     bit-error-rate override)
+//   - slow/soft failure       → Stall (per-input-port frame delay; wall
+//     time only, never affects the frame stream's contents)
+//
+// Every event is keyed to a fabric epoch, and epochs are carried in-band
+// by cell sequence numbers, so a plan replays byte-identically: the same
+// plan, seed, and topology produce the same frame-level history
+// regardless of scheduling or wall-clock timing. Plans are
+// content-addressed (Hash) so experiment manifests can name exactly which
+// chaos was injected.
+package fault
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+)
+
+// Kind names a fault event type.
+type Kind string
+
+// Event kinds. Crash and Restart execute inside the node loop; Grey,
+// Degrade and Stall execute inside the emulator.
+const (
+	Crash   Kind = "crash"   // node stops before transmitting Epoch (fail-stop)
+	Restart Kind = "restart" // node drops its connection at Epoch and re-registers
+	Grey    Kind = "grey"    // emulator drops Src→Dst frames for epochs in [Epoch, Until)
+	Degrade Kind = "degrade" // emulator applies FlipProb to input Src for [Epoch, Until)
+	Stall   Kind = "stall"   // emulator delays input Src's frames by Delay for [Epoch, Until)
+)
+
+// Event is one scripted fault. Epoch is the fabric epoch at which it
+// activates; Until (exclusive) ends windowed faults, with 0 meaning
+// "until the end of the run".
+type Event struct {
+	Kind  Kind `json:"kind"`
+	Epoch int  `json:"epoch"`
+	Until int  `json:"until,omitempty"`
+
+	// Node is the subject of Crash/Restart events.
+	Node int `json:"node,omitempty"`
+
+	// Src and Dst are emulator port indices (== node ids in the one-uplink
+	// testbed). Grey uses both; Degrade and Stall use Src only.
+	Src int `json:"src,omitempty"`
+	Dst int `json:"dst,omitempty"`
+
+	// FlipProb is the per-bit corruption probability for Degrade events.
+	FlipProb float64 `json:"flip_prob,omitempty"`
+
+	// DelayMicros is the per-frame forwarding delay for Stall events, in
+	// microseconds (kept integral so plans hash stably across platforms).
+	DelayMicros int `json:"delay_us,omitempty"`
+}
+
+// Plan is a seeded script of fault events. The seed drives every random
+// choice the injection plane makes (per-port corruption substreams), so a
+// plan replays byte-identically.
+type Plan struct {
+	Seed   uint64  `json:"seed"`
+	Events []Event `json:"events"`
+}
+
+// KillPlan is the common case: fail-stop node crash at the given epoch.
+func KillPlan(node, epoch int, seed uint64) *Plan {
+	return &Plan{Seed: seed, Events: []Event{{Kind: Crash, Node: node, Epoch: epoch}}}
+}
+
+// Validate checks the plan against a topology of the given node count.
+func (p *Plan) Validate(nodes int) error {
+	if p == nil {
+		return nil
+	}
+	for i, e := range p.Events {
+		prefix := fmt.Sprintf("fault: event %d (%s)", i, e.Kind)
+		if e.Epoch < 0 {
+			return fmt.Errorf("%s: negative epoch %d", prefix, e.Epoch)
+		}
+		if e.Until != 0 && e.Until <= e.Epoch {
+			return fmt.Errorf("%s: until %d not after epoch %d", prefix, e.Until, e.Epoch)
+		}
+		switch e.Kind {
+		case Crash, Restart:
+			if e.Node < 0 || e.Node >= nodes {
+				return fmt.Errorf("%s: node %d out of range [0,%d)", prefix, e.Node, nodes)
+			}
+		case Grey:
+			if e.Src < 0 || e.Src >= nodes || e.Dst < 0 || e.Dst >= nodes {
+				return fmt.Errorf("%s: port pair (%d,%d) out of range [0,%d)", prefix, e.Src, e.Dst, nodes)
+			}
+		case Degrade:
+			if e.Src < 0 || e.Src >= nodes {
+				return fmt.Errorf("%s: port %d out of range [0,%d)", prefix, e.Src, nodes)
+			}
+			if e.FlipProb < 0 || e.FlipProb >= 1 {
+				return fmt.Errorf("%s: flip probability %v outside [0,1)", prefix, e.FlipProb)
+			}
+		case Stall:
+			if e.Src < 0 || e.Src >= nodes {
+				return fmt.Errorf("%s: port %d out of range [0,%d)", prefix, e.Src, nodes)
+			}
+			if e.DelayMicros < 0 {
+				return fmt.Errorf("%s: negative delay", prefix)
+			}
+		default:
+			return fmt.Errorf("%s: unknown kind", prefix)
+		}
+	}
+	return nil
+}
+
+// active reports whether a windowed event applies at the given epoch.
+func (e Event) active(epoch int) bool {
+	if epoch < e.Epoch {
+		return false
+	}
+	return e.Until == 0 || epoch < e.Until
+}
+
+// CrashEpoch returns the epoch at which the node is scripted to crash, or
+// -1. The node transmits epochs [0, CrashEpoch) and then dies.
+func (p *Plan) CrashEpoch(node int) int { return p.nodeEpoch(Crash, node) }
+
+// RestartEpoch returns the epoch at which the node is scripted to drop
+// its connection and re-register, or -1.
+func (p *Plan) RestartEpoch(node int) int { return p.nodeEpoch(Restart, node) }
+
+func (p *Plan) nodeEpoch(k Kind, node int) int {
+	if p == nil {
+		return -1
+	}
+	for _, e := range p.Events {
+		if e.Kind == k && e.Node == node {
+			return e.Epoch
+		}
+	}
+	return -1
+}
+
+// GreyDrop reports whether a frame from input port src destined output
+// port dst at the given epoch is blackholed.
+func (p *Plan) GreyDrop(src, dst, epoch int) bool {
+	if p == nil {
+		return false
+	}
+	for _, e := range p.Events {
+		if e.Kind == Grey && e.Src == src && e.Dst == dst && e.active(epoch) {
+			return true
+		}
+	}
+	return false
+}
+
+// FlipProb returns the effective per-bit corruption probability for a
+// frame from input port src at the given epoch: the largest active
+// Degrade override, or base if none applies.
+func (p *Plan) FlipProb(src, epoch int, base float64) float64 {
+	if p == nil {
+		return base
+	}
+	prob := base
+	for _, e := range p.Events {
+		if e.Kind == Degrade && e.Src == src && e.active(epoch) && e.FlipProb > prob {
+			prob = e.FlipProb
+		}
+	}
+	return prob
+}
+
+// StallDelay returns the forwarding delay for a frame from input port src
+// at the given epoch (0 if none). Stall affects wall time only.
+func (p *Plan) StallDelay(src, epoch int) time.Duration {
+	if p == nil {
+		return 0
+	}
+	var d time.Duration
+	for _, e := range p.Events {
+		if e.Kind == Stall && e.Src == src && e.active(epoch) {
+			if dd := time.Duration(e.DelayMicros) * time.Microsecond; dd > d {
+				d = dd
+			}
+		}
+	}
+	return d
+}
+
+// Empty reports whether the plan injects nothing.
+func (p *Plan) Empty() bool { return p == nil || len(p.Events) == 0 }
+
+// Canonical returns the canonical JSON encoding: events sorted by
+// (epoch, kind, node, src, dst), stable field order. Two plans with the
+// same injected behavior canonicalize identically.
+func (p *Plan) Canonical() []byte {
+	cp := Plan{Seed: p.Seed, Events: append([]Event(nil), p.Events...)}
+	sort.SliceStable(cp.Events, func(i, j int) bool {
+		a, b := cp.Events[i], cp.Events[j]
+		if a.Epoch != b.Epoch {
+			return a.Epoch < b.Epoch
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		if a.Src != b.Src {
+			return a.Src < b.Src
+		}
+		return a.Dst < b.Dst
+	})
+	data, err := json.Marshal(cp)
+	if err != nil {
+		// Plan contains only marshalable fields; unreachable.
+		panic(err)
+	}
+	return data
+}
+
+// Hash content-addresses the plan: a short hex digest of its canonical
+// encoding, stable across field ordering and event permutation.
+func (p *Plan) Hash() string {
+	if p == nil {
+		return "none"
+	}
+	sum := sha256.Sum256(p.Canonical())
+	return hex.EncodeToString(sum[:8])
+}
+
+// Parse decodes a plan from JSON.
+func Parse(data []byte) (*Plan, error) {
+	var p Plan
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("fault: bad plan: %w", err)
+	}
+	return &p, nil
+}
+
+// Load reads a plan from a JSON file.
+func Load(path string) (*Plan, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("fault: %w", err)
+	}
+	return Parse(data)
+}

@@ -1,0 +1,133 @@
+package fault
+
+import (
+	"testing"
+	"time"
+)
+
+func TestValidate(t *testing.T) {
+	good := &Plan{Seed: 1, Events: []Event{
+		{Kind: Crash, Node: 1, Epoch: 10},
+		{Kind: Restart, Node: 2, Epoch: 5},
+		{Kind: Grey, Src: 0, Dst: 3, Epoch: 2, Until: 9},
+		{Kind: Degrade, Src: 1, Epoch: 0, FlipProb: 1e-3},
+		{Kind: Stall, Src: 2, Epoch: 1, Until: 4, DelayMicros: 100},
+	}}
+	if err := good.Validate(4); err != nil {
+		t.Fatalf("good plan rejected: %v", err)
+	}
+	bad := []Plan{
+		{Events: []Event{{Kind: Crash, Node: 4, Epoch: 1}}},
+		{Events: []Event{{Kind: Crash, Node: 0, Epoch: -1}}},
+		{Events: []Event{{Kind: Grey, Src: 0, Dst: 9, Epoch: 1}}},
+		{Events: []Event{{Kind: Degrade, Src: 0, Epoch: 0, FlipProb: 1.5}}},
+		{Events: []Event{{Kind: Stall, Src: 0, Epoch: 3, Until: 2}}},
+		{Events: []Event{{Kind: "meltdown", Epoch: 0}}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(4); err == nil {
+			t.Errorf("bad plan %d accepted", i)
+		}
+	}
+	var nilPlan *Plan
+	if err := nilPlan.Validate(4); err != nil {
+		t.Errorf("nil plan should validate: %v", err)
+	}
+}
+
+func TestQueries(t *testing.T) {
+	p := &Plan{Seed: 7, Events: []Event{
+		{Kind: Crash, Node: 1, Epoch: 10},
+		{Kind: Restart, Node: 2, Epoch: 5},
+		{Kind: Grey, Src: 0, Dst: 3, Epoch: 2, Until: 9},
+		{Kind: Degrade, Src: 1, Epoch: 4, FlipProb: 1e-3},
+		{Kind: Stall, Src: 2, Epoch: 1, Until: 4, DelayMicros: 100},
+	}}
+	if got := p.CrashEpoch(1); got != 10 {
+		t.Errorf("CrashEpoch(1) = %d", got)
+	}
+	if got := p.CrashEpoch(0); got != -1 {
+		t.Errorf("CrashEpoch(0) = %d", got)
+	}
+	if got := p.RestartEpoch(2); got != 5 {
+		t.Errorf("RestartEpoch(2) = %d", got)
+	}
+	if !p.GreyDrop(0, 3, 2) || !p.GreyDrop(0, 3, 8) {
+		t.Error("grey window not active")
+	}
+	if p.GreyDrop(0, 3, 1) || p.GreyDrop(0, 3, 9) || p.GreyDrop(3, 0, 5) {
+		t.Error("grey drop outside window or wrong pair")
+	}
+	if got := p.FlipProb(1, 4, 1e-6); got != 1e-3 {
+		t.Errorf("FlipProb override = %v", got)
+	}
+	if got := p.FlipProb(1, 3, 1e-6); got != 1e-6 {
+		t.Errorf("FlipProb before window = %v", got)
+	}
+	if got := p.StallDelay(2, 2); got != 100*time.Microsecond {
+		t.Errorf("StallDelay = %v", got)
+	}
+	if got := p.StallDelay(2, 4); got != 0 {
+		t.Errorf("StallDelay past window = %v", got)
+	}
+	var nilPlan *Plan
+	if nilPlan.GreyDrop(0, 0, 0) || nilPlan.FlipProb(0, 0, 0.5) != 0.5 ||
+		nilPlan.StallDelay(0, 0) != 0 || nilPlan.CrashEpoch(0) != -1 {
+		t.Error("nil plan queries not inert")
+	}
+	if !nilPlan.Empty() {
+		t.Error("nil plan not empty")
+	}
+}
+
+func TestHashContentAddressing(t *testing.T) {
+	a := &Plan{Seed: 1, Events: []Event{
+		{Kind: Crash, Node: 1, Epoch: 10},
+		{Kind: Grey, Src: 0, Dst: 3, Epoch: 2},
+	}}
+	// Same events, permuted: identical hash.
+	b := &Plan{Seed: 1, Events: []Event{
+		{Kind: Grey, Src: 0, Dst: 3, Epoch: 2},
+		{Kind: Crash, Node: 1, Epoch: 10},
+	}}
+	if a.Hash() != b.Hash() {
+		t.Errorf("permuted plan hashed differently: %s vs %s", a.Hash(), b.Hash())
+	}
+	// Different seed: different hash.
+	c := &Plan{Seed: 2, Events: a.Events}
+	if a.Hash() == c.Hash() {
+		t.Error("seed not part of the content address")
+	}
+	// Different event: different hash.
+	d := &Plan{Seed: 1, Events: []Event{{Kind: Crash, Node: 2, Epoch: 10}}}
+	if a.Hash() == d.Hash() {
+		t.Error("distinct plans collided")
+	}
+	var nilPlan *Plan
+	if nilPlan.Hash() != "none" {
+		t.Errorf("nil hash = %s", nilPlan.Hash())
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	p := KillPlan(2, 40, 99)
+	q, err := Parse(p.Canonical())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Hash() != p.Hash() {
+		t.Errorf("round trip changed hash: %s vs %s", q.Hash(), p.Hash())
+	}
+	if q.Seed != 99 || q.CrashEpoch(2) != 40 {
+		t.Errorf("round trip lost content: %+v", q)
+	}
+	if _, err := Parse([]byte("{")); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+}
+
+func TestLoadMissing(t *testing.T) {
+	if _, err := Load("/nonexistent/plan.json"); err == nil {
+		t.Error("missing file accepted")
+	}
+}

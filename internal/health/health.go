@@ -123,6 +123,58 @@ func (d *Detector) DetectionLatency(p int) int {
 	return d.confirmedAt[p] - silenceStart + 1
 }
 
+// Observer is the single-node slice of the Detector, embedded by live
+// nodes (internal/wire): where the Detector holds the full observer×peer
+// matrix for offline analysis, an Observer judges only what one node can
+// see — the highest epoch heard from each peer — and raises suspicion
+// once a peer has been silent for MissThreshold consecutive epochs.
+//
+// The judgement is gap-based rather than counter-based: at epoch e the
+// observer should have heard each live peer's epoch e-1 transmission, so
+// a peer last heard at epoch h has been silent for (e-1) - h epochs. A
+// straggler that is merely slow (heard one epoch behind, as happens when
+// it is itself riding out someone else's failure) keeps a constant gap of
+// 1 and is never suspected; only a peer whose gap *grows* to the
+// threshold is — the same semantics as Detector's consecutive-miss
+// counter, without requiring the live node to observe every epoch
+// boundary exactly once.
+type Observer struct {
+	threshold int
+	suspected []bool
+}
+
+// NewObserver builds an observer over the given node count.
+func NewObserver(nodes, missThreshold int) (*Observer, error) {
+	if nodes < 2 {
+		return nil, fmt.Errorf("health: need >= 2 nodes")
+	}
+	if missThreshold < 1 {
+		return nil, fmt.Errorf("health: threshold must be >= 1")
+	}
+	return &Observer{threshold: missThreshold, suspected: make([]bool, nodes)}, nil
+}
+
+// Judge evaluates peer at the given local epoch: lastHeard is the highest
+// epoch the observer has received from the peer (-1 for never). It
+// returns true exactly once, when the peer first crosses the suspicion
+// threshold.
+func (o *Observer) Judge(peer, lastHeard, epoch int) (newlySuspected bool) {
+	if o.suspected[peer] {
+		return false
+	}
+	if (epoch-1)-lastHeard >= o.threshold {
+		o.suspected[peer] = true
+		return true
+	}
+	return false
+}
+
+// Suspected reports whether the observer has suspected the peer.
+func (o *Observer) Suspected(peer int) bool { return o.suspected[peer] }
+
+// MissThreshold returns the configured threshold.
+func (o *Observer) MissThreshold() int { return o.threshold }
+
 // SuspectedBy returns how many live observers individually suspect p —
 // for grey failures this can be a strict subset of the fabric.
 func (d *Detector) SuspectedBy(p int) int {

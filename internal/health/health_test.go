@@ -159,3 +159,97 @@ func TestMultipleSimultaneousFailures(t *testing.T) {
 		t.Errorf("found %v, want both 3 and 11", found)
 	}
 }
+
+func TestObserverSuspectsAfterThreshold(t *testing.T) {
+	o, err := NewObserver(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Peer 1 transmits epochs 0..4 then crashes at epoch 5 (last heard 4).
+	lastHeard := 4
+	for e := 5; e <= 7; e++ {
+		if o.Judge(1, lastHeard, e) {
+			t.Fatalf("suspected at epoch %d, before the threshold", e)
+		}
+	}
+	// At epoch 8 the peer has been silent for epochs 5,6,7 = 3 epochs.
+	if !o.Judge(1, lastHeard, 8) {
+		t.Fatal("not suspected after MissThreshold silent epochs")
+	}
+	if !o.Suspected(1) {
+		t.Fatal("Suspected not sticky")
+	}
+	if o.Judge(1, lastHeard, 9) {
+		t.Fatal("Judge fired twice for the same peer")
+	}
+	if o.MissThreshold() != 3 {
+		t.Errorf("threshold = %d", o.MissThreshold())
+	}
+}
+
+func TestObserverStragglerNotSuspected(t *testing.T) {
+	// A peer that is persistently one epoch behind (e.g. itself riding out
+	// another node's failure) keeps a constant gap and is never suspected.
+	o, err := NewObserver(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := 1; e < 100; e++ {
+		if o.Judge(2, e-2, e) {
+			t.Fatalf("straggler suspected at epoch %d", e)
+		}
+	}
+}
+
+func TestObserverMatchesDetector(t *testing.T) {
+	// Observer (gap-based) and Detector (counter-based) agree on when a
+	// fail-stop crash crosses the threshold: suspicion lands exactly
+	// MissThreshold epochs after the last transmission.
+	const nodes, threshold, crashAt = 4, 3, 10
+	d, err := New(Config{Nodes: nodes, MissThreshold: threshold})
+	if err != nil {
+		t.Fatal(err)
+	}
+	detectorSuspectAt := -1
+	for e := 0; e < 30 && detectorSuspectAt < 0; e++ {
+		d.Epoch(func(obs, peer int) bool { return peer != 1 || e < crashAt })
+		if d.SuspectedBy(1) > 0 && detectorSuspectAt < 0 {
+			detectorSuspectAt = e
+		}
+	}
+	o, err := NewObserver(nodes, threshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	observerSuspectAt := -1
+	for e := 0; e < 30 && observerSuspectAt < 0; e++ {
+		lastHeard := crashAt - 1
+		if e-1 < lastHeard {
+			lastHeard = e - 1
+		}
+		if o.Judge(1, lastHeard, e) {
+			observerSuspectAt = e
+		}
+	}
+	// Both suspect after exactly `threshold` silent epochs. The Detector
+	// timestamps the suspicion *during* the third silent epoch (it sees
+	// each epoch's beacons synchronously within that epoch), while a live
+	// Observer can only judge epoch e-1 once epoch e has begun — so its
+	// timestamp lands one boundary later. Same latency, shifted stamp.
+	if observerSuspectAt != detectorSuspectAt+1 {
+		t.Errorf("detector suspects at %d, observer at %d (want detector+1)",
+			detectorSuspectAt, observerSuspectAt)
+	}
+	if observerSuspectAt != crashAt+threshold {
+		t.Errorf("suspicion at %d, want crash+threshold = %d", observerSuspectAt, crashAt+threshold)
+	}
+}
+
+func TestObserverValidation(t *testing.T) {
+	if _, err := NewObserver(1, 3); err == nil {
+		t.Error("1 node accepted")
+	}
+	if _, err := NewObserver(4, 0); err == nil {
+		t.Error("0 threshold accepted")
+	}
+}

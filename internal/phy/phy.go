@@ -215,6 +215,17 @@ func NewPRBS(seed uint32) *PRBS {
 	return &PRBS{state: seed & 0x7fffffff}
 }
 
+// Reset re-seeds the generator in place, allowing one PRBS to be reused
+// across independently seeded bursts (the wire testbed seeds each cell's
+// pattern from (src, dst, seq) so that a lost cell never desynchronizes
+// the checker) without allocating per burst.
+func (p *PRBS) Reset(seed uint32) {
+	if seed == 0 {
+		seed = 1
+	}
+	p.state = seed & 0x7fffffff
+}
+
 // NextBit returns the next bit of the sequence.
 func (p *PRBS) NextBit() uint32 {
 	bit := ((p.state >> 30) ^ (p.state >> 27)) & 1

@@ -157,6 +157,31 @@ func TestPRBSErrorCounting(t *testing.T) {
 	}
 }
 
+func TestPRBSReset(t *testing.T) {
+	a := NewPRBS(0x1234)
+	b := NewPRBS(0x9999)
+	buf := make([]byte, 64)
+	b.Fill(buf) // advance b arbitrarily
+	b.Reset(0x1234)
+	want := make([]byte, 64)
+	a.Fill(want)
+	got := make([]byte, 64)
+	b.Fill(got)
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("Reset stream diverges at byte %d", i)
+		}
+	}
+	b.Reset(0)
+	sum := uint32(0)
+	for i := 0; i < 100; i++ {
+		sum += b.NextBit()
+	}
+	if sum == 0 {
+		t.Error("Reset(0) stuck at zero state")
+	}
+}
+
 func TestPRBSStreamsIndependent(t *testing.T) {
 	f := func(seed uint32, flips uint8) bool {
 		tx := NewPRBS(seed)

@@ -1,0 +1,47 @@
+package wire
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"sirius/internal/rng"
+)
+
+// BenchmarkEmulatorCorrupt measures the frame-corruption hot path. The
+// old implementation held the emulator's single global mutex across a
+// per-bit Bernoulli loop over the whole payload; the current one uses
+// per-input-port RNG substreams (no shared lock) and geometric skip
+// sampling (one draw per flipped bit instead of one per bit). The
+// "parallel8" variants model eight input ports corrupting concurrently,
+// as the emulator's per-port goroutines do. Baseline numbers from the
+// old implementation are recorded in BENCH_wire.json.
+func BenchmarkEmulatorCorrupt(b *testing.B) {
+	const payload = 562 // default cell size
+	for _, prob := range []float64{1e-3, 1e-5} {
+		b.Run(fmt.Sprintf("serial/p=%g", prob), func(b *testing.B) {
+			r := rng.New(rng.PointSeed(42, 0))
+			buf := make([]byte, payload)
+			b.SetBytes(payload)
+			var flips int64
+			for i := 0; i < b.N; i++ {
+				flips += corruptPayload(buf, prob, r)
+			}
+			if flips < 0 {
+				b.Fatal("impossible")
+			}
+		})
+		b.Run(fmt.Sprintf("parallel8/p=%g", prob), func(b *testing.B) {
+			b.SetBytes(payload)
+			var port atomic.Int64
+			b.SetParallelism(8)
+			b.RunParallel(func(pb *testing.PB) {
+				r := rng.New(rng.PointSeed(42, uint64(port.Add(1))))
+				buf := make([]byte, payload)
+				for pb.Next() {
+					corruptPayload(buf, prob, r)
+				}
+			})
+		})
+	}
+}

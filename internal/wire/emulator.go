@@ -1,0 +1,456 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sirius/internal/cell"
+	"sirius/internal/fault"
+	"sirius/internal/rng"
+)
+
+// parkLimit caps the number of frames held for a port that is expected to
+// (re)connect. Beyond it, frames are counted dropped — the emulator never
+// grows without bound because of one absent node.
+const parkLimit = 4096
+
+// handshakeTimeout bounds how long a fresh connection may take to present
+// its 4-byte handshake before being rejected. A client that connects and
+// stalls must not pin emulator resources.
+const handshakeTimeout = 5 * time.Second
+
+// PortError is a structured per-port failure observed by the emulator. One
+// broken port never takes the fabric down; the error is recorded and the
+// emulator keeps serving the others.
+type PortError struct {
+	Port int
+	Op   string // "handshake", "read", "write"
+	Err  error
+}
+
+func (e *PortError) Error() string {
+	return fmt.Sprintf("wire: port %d: %s: %v", e.Port, e.Op, e.Err)
+}
+
+// Unwrap exposes the underlying error.
+func (e *PortError) Unwrap() error { return e.Err }
+
+// Emulator is the AWGR stand-in: a process that accepts one TCP connection
+// per grating port and routes each wavelength-tagged frame to output port
+// (input + wavelength) mod N, exactly the cyclic rule of a physical
+// arrayed-waveguide grating.
+//
+// The emulator is resilient by construction: the accept loop never stops
+// on a bad client (it rejects with a status reply and keeps listening), a
+// re-registering node replaces its prior connection, frames routed toward
+// an absent-but-expected port are parked and flushed on (re)registration,
+// and per-port write errors are recorded instead of fatal. Serve returns
+// only when the whole fabric has completed — every port registered and
+// every input stream reached its final EOF — or on Close.
+type Emulator struct {
+	ln       net.Listener
+	ports    int
+	flipProb float64
+	plan     *fault.Plan
+
+	mu         sync.Mutex
+	conns      []net.Conn // current connection per port (nil when absent)
+	gen        []int      // per-port connection generation
+	regCount   []int      // how many times the port has registered
+	eofFinal   []bool     // the port's input stream has spoken its last
+	parked     [][][]byte // frames awaiting the port's (re)connection
+	portErrs   []error    // structured per-port failures, in order observed
+	closed     bool       // Close was called
+	completing bool       // fabric completed; shutting down
+
+	wmu []sync.Mutex // per-output-port write serialization
+
+	// Per-input-port corruption substreams: rngs[p] is seeded from
+	// PointSeed(seed, p) and consumed in that port's frame order, so bit
+	// flips are deterministic for a given (seed, frame history) no matter
+	// how the per-port goroutines interleave. rmu guards against the brief
+	// overlap window during a re-registration.
+	rmu  []sync.Mutex
+	rngs []*rng.RNG
+
+	routed      atomic.Int64
+	bitsFlipped atomic.Int64
+	dropped     atomic.Int64 // frames lost to dead or over-parked ports
+	greyDropped atomic.Int64 // frames blackholed by Grey fault events
+	rejected    atomic.Int64 // connections refused at handshake
+
+	wg sync.WaitGroup
+}
+
+// NewEmulator listens on an ephemeral localhost port.
+func NewEmulator(ports int, flipProb float64, seed uint64) (*Emulator, error) {
+	return NewEmulatorAddr("127.0.0.1:0", ports, flipProb, seed)
+}
+
+// NewEmulatorAddr listens on the given address with no fault plan.
+func NewEmulatorAddr(addr string, ports int, flipProb float64, seed uint64) (*Emulator, error) {
+	return NewEmulatorFault(addr, ports, flipProb, seed, nil)
+}
+
+// NewEmulatorFault listens on the given address and consults the given
+// fault plan (which may be nil) while routing.
+func NewEmulatorFault(addr string, ports int, flipProb float64, seed uint64, plan *fault.Plan) (*Emulator, error) {
+	if ports < 2 {
+		return nil, fmt.Errorf("wire: need >= 2 ports")
+	}
+	if flipProb < 0 || flipProb >= 1 {
+		return nil, fmt.Errorf("wire: flip probability %v outside [0,1)", flipProb)
+	}
+	if err := plan.Validate(ports); err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: %w", err)
+	}
+	e := &Emulator{
+		ln:       ln,
+		ports:    ports,
+		flipProb: flipProb,
+		plan:     plan,
+		conns:    make([]net.Conn, ports),
+		gen:      make([]int, ports),
+		regCount: make([]int, ports),
+		eofFinal: make([]bool, ports),
+		parked:   make([][][]byte, ports),
+		wmu:      make([]sync.Mutex, ports),
+		rmu:      make([]sync.Mutex, ports),
+		rngs:     make([]*rng.RNG, ports),
+	}
+	for p := 0; p < ports; p++ {
+		e.rngs[p] = rng.New(rng.PointSeed(seed, uint64(p)))
+	}
+	return e, nil
+}
+
+// Addr returns the listen address.
+func (e *Emulator) Addr() string { return e.ln.Addr().String() }
+
+// Routed returns the number of frames forwarded so far.
+func (e *Emulator) Routed() int64 { return e.routed.Load() }
+
+// BitsFlipped returns the number of payload bits corrupted so far.
+func (e *Emulator) BitsFlipped() int64 { return e.bitsFlipped.Load() }
+
+// Dropped returns frames lost to dead or over-parked output ports.
+func (e *Emulator) Dropped() int64 { return e.dropped.Load() }
+
+// GreyDropped returns frames blackholed by Grey fault events.
+func (e *Emulator) GreyDropped() int64 { return e.greyDropped.Load() }
+
+// Rejected returns the number of connections refused at handshake.
+func (e *Emulator) Rejected() int64 { return e.rejected.Load() }
+
+// PortErrors returns the structured per-port failures observed so far.
+func (e *Emulator) PortErrors() []error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]error(nil), e.portErrs...)
+}
+
+// Close shuts the emulator down: the listener and all connections are
+// closed and Serve returns nil. Idempotent.
+func (e *Emulator) Close() error {
+	e.mu.Lock()
+	e.closed = true
+	e.closeAllLocked()
+	e.mu.Unlock()
+	return nil
+}
+
+// closeAllLocked closes the listener and every registered connection.
+func (e *Emulator) closeAllLocked() {
+	e.ln.Close()
+	for p, c := range e.conns {
+		if c != nil {
+			c.Close()
+			e.conns[p] = nil
+		}
+	}
+}
+
+// Serve accepts connections and routes frames until the fabric completes
+// (every port registered at least once and every input reached its final
+// EOF) or Close is called. A malformed, duplicate, or out-of-range
+// handshake rejects that one connection — with a status reply naming the
+// reason — and the accept loop keeps going: a buggy or malicious client
+// cannot take the fabric down.
+func (e *Emulator) Serve() error {
+	for {
+		conn, err := e.ln.Accept()
+		if err != nil {
+			e.wg.Wait()
+			e.mu.Lock()
+			done := e.closed || e.completing
+			e.mu.Unlock()
+			if done {
+				return nil
+			}
+			return fmt.Errorf("wire: accept: %w", err)
+		}
+		e.wg.Add(1)
+		go e.admit(conn)
+	}
+}
+
+// admit performs the handshake on a fresh connection and, on success,
+// registers it and starts routing its frames.
+func (e *Emulator) admit(conn net.Conn) {
+	defer e.wg.Done()
+	conn.SetReadDeadline(time.Now().Add(handshakeTimeout))
+	var h [hsLen]byte
+	if _, err := io.ReadFull(conn, h[:]); err != nil {
+		e.rejected.Add(1)
+		e.recordErr(&PortError{Port: -1, Op: "handshake", Err: err})
+		conn.Close()
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+	port, flags, status, err := ParseHandshake(h, e.ports)
+	if err != nil {
+		e.reject(conn, port, status, err)
+		return
+	}
+
+	e.mu.Lock()
+	if e.closed || e.completing {
+		e.mu.Unlock()
+		conn.Close()
+		return
+	}
+	if e.conns[port] != nil && flags&HsReRegister == 0 {
+		e.mu.Unlock()
+		e.reject(conn, port, HsDuplicate, fmt.Errorf("wire: port %d already connected", port))
+		return
+	}
+	if old := e.conns[port]; old != nil {
+		old.Close() // superseded by the re-registration
+	}
+	e.gen[port]++
+	gen := e.gen[port]
+	e.conns[port] = conn
+	e.regCount[port]++
+	e.eofFinal[port] = false // a re-registered port speaks again
+	queued := e.parked[port]
+	e.parked[port] = nil
+	e.mu.Unlock()
+
+	if _, err := conn.Write([]byte{HsOK, uint8(port)}); err != nil {
+		e.writeFailed(port, gen, err, nil)
+		return
+	}
+	if len(queued) > 0 {
+		e.wmu[port].Lock()
+		var werr error
+		for _, f := range queued {
+			if _, werr = conn.Write(f); werr != nil {
+				break
+			}
+		}
+		e.wmu[port].Unlock()
+		if werr != nil {
+			e.writeFailed(port, gen, werr, nil)
+			return
+		}
+	}
+	e.wg.Add(1)
+	go e.routeFrom(port, gen, conn)
+}
+
+// reject answers a refused connection with its status and closes it.
+func (e *Emulator) reject(conn net.Conn, port int, status uint8, err error) {
+	e.rejected.Add(1)
+	e.recordErr(&PortError{Port: port, Op: "handshake", Err: err})
+	conn.SetWriteDeadline(time.Now().Add(handshakeTimeout))
+	conn.Write([]byte{status, 0})
+	conn.Close()
+}
+
+// recordErr appends a structured port error.
+func (e *Emulator) recordErr(pe *PortError) {
+	e.mu.Lock()
+	e.portErrs = append(e.portErrs, pe)
+	e.mu.Unlock()
+}
+
+// routeFrom reads frames arriving on input port p and forwards each to
+// output port (p + wavelength) mod N, applying the fault plan's grey
+// drops, BER degradation, and stalls on the way through the grating.
+func (e *Emulator) routeFrom(port, gen int, conn net.Conn) {
+	defer e.wg.Done()
+	br := bufio.NewReaderSize(conn, 64<<10)
+	frame := make([]byte, frameHeader, frameHeader+4096)
+	for {
+		w, cellBytes, err := ReadFrame(br)
+		if err != nil {
+			e.inputDone(port, gen, conn, err)
+			return
+		}
+		epoch := cellEpoch(cellBytes)
+		if d := e.plan.StallDelay(port, epoch); d > 0 {
+			time.Sleep(d)
+		}
+		out := (port + int(w)) % e.ports
+		if e.plan.GreyDrop(port, out, epoch) {
+			e.greyDropped.Add(1)
+			continue
+		}
+		if p := e.plan.FlipProb(port, epoch, e.flipProb); p > 0 && len(cellBytes) > cell.HeaderLen {
+			// Corrupt payload bits only: cell headers model the separately
+			// (and more strongly) FEC-protected framing, so epoch numbers
+			// and piggybacked suspicions survive receiver-sensitivity
+			// faults the way the payload does not.
+			e.rmu[port].Lock()
+			flips := corruptPayload(cellBytes[cell.HeaderLen:], p, e.rngs[port])
+			e.rmu[port].Unlock()
+			e.bitsFlipped.Add(flips)
+		}
+		frame = frame[:frameHeader]
+		binary.BigEndian.PutUint32(frame[:4], uint32(len(cellBytes)))
+		frame[4] = w
+		frame = append(frame, cellBytes...)
+		e.routed.Add(1)
+		e.deliver(out, frame)
+	}
+}
+
+// deliver writes one assembled frame to an output port, parking it if the
+// port is expected but absent, and counting it dropped otherwise.
+func (e *Emulator) deliver(out int, frame []byte) {
+	e.mu.Lock()
+	conn := e.conns[out]
+	if conn == nil {
+		e.parkOrDropLocked(out, frame)
+		e.mu.Unlock()
+		return
+	}
+	gen := e.gen[out]
+	e.mu.Unlock()
+
+	e.wmu[out].Lock()
+	_, err := conn.Write(frame)
+	e.wmu[out].Unlock()
+	if err != nil {
+		e.writeFailed(out, gen, err, frame)
+	}
+}
+
+// parkOrDropLocked queues a frame for an absent port that is expected to
+// (re)connect, or counts it dropped. Called with e.mu held.
+func (e *Emulator) parkOrDropLocked(out int, frame []byte) {
+	if e.mayReconnectLocked(out) && len(e.parked[out]) < parkLimit {
+		e.parked[out] = append(e.parked[out], append([]byte(nil), frame...))
+		return
+	}
+	e.dropped.Add(1)
+}
+
+// mayReconnectLocked reports whether the port is expected to (re)appear:
+// it has never registered, or the fault plan scripts a restart it has not
+// yet consumed. Called with e.mu held.
+func (e *Emulator) mayReconnectLocked(out int) bool {
+	if e.regCount[out] == 0 {
+		return true
+	}
+	return e.plan.RestartEpoch(out) >= 0 && e.regCount[out] < 2
+}
+
+// writeFailed tears down a port's connection after a write error: the
+// error is recorded, the connection dropped, and the frame (if any) parked
+// or counted dropped. The fabric keeps running.
+func (e *Emulator) writeFailed(port, gen int, err error, frame []byte) {
+	e.mu.Lock()
+	if gen == e.gen[port] && e.conns[port] != nil {
+		e.conns[port].Close()
+		e.conns[port] = nil
+		e.portErrs = append(e.portErrs, &PortError{Port: port, Op: "write", Err: err})
+	}
+	if frame != nil {
+		e.parkOrDropLocked(port, frame)
+	}
+	e.mu.Unlock()
+}
+
+// inputDone handles the end of a port's input stream. A clean EOF from a
+// port with no pending scripted restart is that port's final word; once
+// every registered port has spoken its last, the fabric is complete and
+// the emulator closes every connection (delivering EOF to all receivers)
+// and stops serving.
+func (e *Emulator) inputDone(port, gen int, conn net.Conn, err error) {
+	e.mu.Lock()
+	if gen != e.gen[port] {
+		e.mu.Unlock()
+		return // superseded by a re-registration
+	}
+	if err != io.EOF && err != io.ErrUnexpectedEOF {
+		// A broken connection (not a half-close): record it and drop the
+		// conn entirely. The node may re-register.
+		e.portErrs = append(e.portErrs, &PortError{Port: port, Op: "read", Err: err})
+		conn.Close()
+		if e.conns[port] == conn {
+			e.conns[port] = nil
+		}
+	}
+	if e.mayReconnectLocked(port) && !e.closed {
+		e.mu.Unlock()
+		return // not the port's last word: await re-registration
+	}
+	e.eofFinal[port] = true
+	complete := !e.completing && e.fabricDoneLocked()
+	if complete {
+		e.completing = true
+		e.closeAllLocked()
+	}
+	e.mu.Unlock()
+}
+
+// fabricDoneLocked reports whether every port has registered and every
+// input stream has reached its final EOF. Called with e.mu held.
+func (e *Emulator) fabricDoneLocked() bool {
+	for p := 0; p < e.ports; p++ {
+		if e.regCount[p] == 0 || !e.eofFinal[p] {
+			return false
+		}
+	}
+	return true
+}
+
+// corruptPayload flips each bit of b independently with probability prob,
+// using geometric skip sampling: instead of one Bernoulli draw per bit, it
+// draws the gap to the next flipped bit as Geometric(prob) via
+// floor(ln U / ln(1-prob)) — exactly the same per-bit distribution with
+// ~1/prob fewer RNG calls. It returns the number of bits flipped.
+func corruptPayload(b []byte, prob float64, r *rng.RNG) int64 {
+	if prob <= 0 || len(b) == 0 {
+		return 0
+	}
+	nbits := len(b) * 8
+	invLn := 1 / math.Log1p(-prob) // negative
+	var flips int64
+	i := 0
+	for {
+		u := r.Float64()
+		for u == 0 {
+			u = r.Float64()
+		}
+		i += int(math.Log(u) * invLn) // gap: failures before the next flip
+		if i >= nbits || i < 0 {
+			return flips
+		}
+		b[i>>3] ^= 1 << uint(i&7)
+		flips++
+		i++
+	}
+}

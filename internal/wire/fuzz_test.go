@@ -14,6 +14,21 @@ func FuzzReadFrame(f *testing.F) {
 	f.Add(seed.Bytes())
 	f.Add([]byte{0, 0, 0, 0, 0})
 	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 1, 2, 3})
+	// Truncated mid-header and mid-payload.
+	f.Add(seed.Bytes()[:3])
+	f.Add(seed.Bytes()[:frameHeader+2])
+	// Length field pointing just past the limit, and just inside it.
+	f.Add([]byte{0x00, 0x01, 0x00, 0x01, 9}) // 64KiB+1: rejected
+	f.Add([]byte{0x00, 0x00, 0xFF, 0xFF, 9}) // large but legal, truncated
+	// Header-corrupted variant of a valid frame: flipped length bytes.
+	corrupted := append([]byte(nil), seed.Bytes()...)
+	corrupted[0] ^= 0x80
+	corrupted[3] ^= 0x01
+	f.Add(corrupted)
+	// A cell-bearing frame whose embedded cell header is garbage.
+	var withCell bytes.Buffer
+	_ = WriteFrame(&withCell, 1, make([]byte, 24))
+	f.Add(withCell.Bytes())
 	f.Fuzz(func(t *testing.T, data []byte) {
 		w, cellBytes, err := ReadFrame(bytes.NewReader(data))
 		if err != nil {
@@ -29,6 +44,46 @@ func FuzzReadFrame(f *testing.F) {
 		}
 		if w2 != w || !bytes.Equal(cell2, cellBytes) {
 			t.Fatal("frame round trip mismatch")
+		}
+	})
+}
+
+// FuzzHandshake checks the registration handshake parser: no panics,
+// every reject carries a non-OK status, and accepted handshakes
+// round-trip through EncodeHandshake (including the re-register flag).
+func FuzzHandshake(f *testing.F) {
+	ok := EncodeHandshake(2, 0)
+	f.Add(ok[:], 4)
+	rr := EncodeHandshake(1, HsReRegister)
+	f.Add(rr[:], 4)
+	f.Add([]byte{0xA7, 1, 99, 0}, 4)         // port out of range
+	f.Add([]byte{0xDE, 0xAD, 0xBE, 0xEF}, 8) // bad magic
+	f.Add([]byte{0xA7, 2, 0, 0}, 4)          // wrong version
+	f.Fuzz(func(t *testing.T, data []byte, ports int) {
+		if len(data) < hsLen {
+			return
+		}
+		if ports < 2 || ports > 255 {
+			ports = 4
+		}
+		var h [hsLen]byte
+		copy(h[:], data)
+		port, flags, status, err := ParseHandshake(h, ports)
+		if err != nil {
+			if status == HsOK {
+				t.Fatal("rejected handshake reported HsOK")
+			}
+			return
+		}
+		if status != HsOK {
+			t.Fatalf("accepted handshake has status %d", status)
+		}
+		if port < 0 || port >= ports {
+			t.Fatalf("accepted out-of-range port %d", port)
+		}
+		re := EncodeHandshake(port, flags)
+		if re != h {
+			t.Fatalf("handshake round trip: %v -> %v", h, re)
 		}
 	})
 }

@@ -1,0 +1,777 @@
+package wire
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sirius/internal/cell"
+	"sirius/internal/fault"
+	"sirius/internal/health"
+	"sirius/internal/phy"
+	"sirius/internal/rng"
+	"sirius/internal/schedule"
+)
+
+// Defaults for NodeConfig's zero values.
+const (
+	defaultTimeout           = 10 * time.Second
+	defaultSuspectTimeout    = 2 * time.Second
+	defaultMissThreshold     = 3
+	defaultReconnectAttempts = 8
+	defaultReconnectBase     = 10 * time.Millisecond
+	reconnectCap             = 640 * time.Millisecond
+)
+
+// fecThreshold is the pre-FEC bit error rate below which the KP4-class FEC
+// assumed by the paper corrects everything: runs at or under it claim
+// post-FEC error-free operation.
+const fecThreshold = 2e-4
+
+// NodeConfig configures one emulated node process.
+type NodeConfig struct {
+	ID           int
+	Addr         string
+	Nodes        int
+	Epochs       int
+	PayloadBytes int
+
+	// Timeout is the rolling progress deadline: the node fails only after
+	// this long with no frame received, no epoch transmitted, and no
+	// reconnection — it rolls forward on progress instead of capping the
+	// whole run. Default 10s.
+	Timeout time.Duration
+
+	// SuspectTimeout bounds how long the epoch gate waits for lagging
+	// peers before judging them (health.Observer) and proceeding
+	// optimistically. It is the wall-clock proxy for the paper's
+	// epoch-scale silence detection. Default 2s.
+	SuspectTimeout time.Duration
+
+	// MissThreshold is how many consecutive silent epochs an observer
+	// tolerates before suspecting a peer (§4.5). Default 3.
+	MissThreshold int
+
+	// Plan scripts this node's crash or restart, if any.
+	Plan *fault.Plan
+
+	// ReconnectAttempts and ReconnectBase shape the capped exponential
+	// backoff used to re-register after a broken connection. Defaults: 8
+	// attempts starting at 10ms, doubling, capped at 640ms.
+	ReconnectAttempts int
+	ReconnectBase     time.Duration
+
+	// TrackEpochs records per-epoch received-cell counts in
+	// NodeStats.RxPerEpoch (for goodput-over-time analysis).
+	TrackEpochs bool
+}
+
+// PeerFailure records one peer's detected failure as this node saw it:
+// suspicion raised at SuspectEpoch, flood received fabric-wide by
+// ConfirmEpoch, and the compacted schedule adopted at SwitchEpoch.
+type PeerFailure struct {
+	Peer         int
+	SuspectEpoch int
+	ConfirmEpoch int
+	SwitchEpoch  int
+}
+
+// NodeStats summarizes one node's run.
+type NodeStats struct {
+	Node       int
+	Sent       int
+	Received   int
+	Misrouted  int
+	BitErrors  int64
+	Bits       int64
+	Reconnects int  // successful re-registrations
+	Crashed    bool // this node executed a scripted Crash
+	Ejected    bool // the fabric confirmed this node failed (grey victim)
+	Failures   []PeerFailure
+	RxPerEpoch []int // per-epoch received cells (TrackEpochs only)
+}
+
+// BER returns the measured pre-FEC bit error rate.
+func (s NodeStats) BER() float64 {
+	if s.Bits == 0 {
+		return 0
+	}
+	return float64(s.BitErrors) / float64(s.Bits)
+}
+
+// prbsSeed derives the per-cell PRBS seed from (src, dst, seq). Seeding
+// every cell independently means a lost or reordered cell never
+// desynchronizes the receiver's checker: each payload is verified against
+// a stream both ends can regenerate from the header alone.
+func prbsSeed(src, dst uint16, seq uint32) uint32 {
+	s := rng.PointSeed(uint64(src)<<48|uint64(dst)<<32|uint64(seq), 0xce11)
+	return uint32(s&0x7fffffff) | 1
+}
+
+// node is the run state of one emulated node.
+type node struct {
+	cfg  NodeConfig
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	conn      net.Conn // guarded by mu
+	gen       int      // connection generation; bumped by relink
+	relinking bool     // a relink is in flight; others wait
+
+	heard       []int  // highest epoch heard from each original peer (-1 never)
+	suspected   []bool // peer is suspected failed (locally or by flood)
+	switchEpoch []int  // agreed schedule-switch epoch per suspected peer
+	applied     []bool // peer's failure already folded into the schedule
+	failures    []PeerFailure
+	obs         *health.Observer
+
+	sched schedule.Schedule // current schedule (base or compacted)
+	live  []int             // compact index -> original node id
+	myIdx int               // this node's index in the current schedule
+
+	txDone   bool
+	rxDone   bool
+	fatalErr error
+
+	progress atomic.Int64 // bumped on any rx frame / tx epoch / reconnect
+	stats    NodeStats
+}
+
+// RunNode runs one node of the prototype fabric to completion and returns
+// its statistics. It connects to the emulator, follows the cyclic
+// schedule epoch by epoch — gated on having heard every live peer's
+// previous epoch, so the fabric self-clocks — transmits per-cell-seeded
+// PRBS payloads, verifies everything it receives, detects silent peers,
+// floods suspicions piggybacked on data cells, and switches to a
+// compacted schedule at the agreed epoch boundary.
+func RunNode(cfg NodeConfig) (*NodeStats, error) {
+	if cfg.Nodes < 2 || cfg.Nodes > 255 {
+		return nil, fmt.Errorf("wire: need 2..255 nodes, got %d", cfg.Nodes)
+	}
+	if cfg.ID < 0 || cfg.ID >= cfg.Nodes {
+		return nil, fmt.Errorf("wire: node id %d out of range [0,%d)", cfg.ID, cfg.Nodes)
+	}
+	if cfg.PayloadBytes < 1 {
+		return nil, fmt.Errorf("wire: need >= 1 payload byte")
+	}
+	if cfg.Epochs < 1 {
+		cfg.Epochs = 1
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = defaultTimeout
+	}
+	if cfg.SuspectTimeout <= 0 {
+		cfg.SuspectTimeout = defaultSuspectTimeout
+	}
+	if cfg.MissThreshold <= 0 {
+		cfg.MissThreshold = defaultMissThreshold
+	}
+	if cfg.ReconnectAttempts <= 0 {
+		cfg.ReconnectAttempts = defaultReconnectAttempts
+	}
+	if cfg.ReconnectBase <= 0 {
+		cfg.ReconnectBase = defaultReconnectBase
+	}
+
+	base, err := schedule.NewGrouped(cfg.Nodes, cfg.Nodes, 1)
+	if err != nil {
+		return nil, err
+	}
+	obs, err := health.NewObserver(cfg.Nodes, cfg.MissThreshold)
+	if err != nil {
+		return nil, err
+	}
+
+	n := &node{
+		cfg:         cfg,
+		heard:       make([]int, cfg.Nodes),
+		suspected:   make([]bool, cfg.Nodes),
+		switchEpoch: make([]int, cfg.Nodes),
+		applied:     make([]bool, cfg.Nodes),
+		obs:         obs,
+		sched:       base,
+		live:        make([]int, cfg.Nodes),
+		myIdx:       cfg.ID,
+		stats:       NodeStats{Node: cfg.ID},
+	}
+	n.cond = sync.NewCond(&n.mu)
+	for i := range n.heard {
+		n.heard[i] = -1
+		n.switchEpoch[i] = -1
+		n.live[i] = i
+	}
+	if cfg.TrackEpochs {
+		n.stats.RxPerEpoch = make([]int, cfg.Epochs)
+	}
+
+	conn, err := dialRegister(cfg, 0)
+	if err != nil {
+		return nil, err
+	}
+	n.conn = conn
+
+	stop := make(chan struct{})
+	defer close(stop)
+	go n.watchdog(stop)
+	go n.rxLoop()
+
+	if err := n.txLoop(); err != nil {
+		n.fail(err)
+	}
+
+	// Wait for the receive side to drain to EOF (the emulator closes all
+	// connections once the whole fabric has completed).
+	n.mu.Lock()
+	for !n.rxDone && n.fatalErr == nil {
+		n.cond.Wait()
+	}
+	err = n.fatalErr
+	n.stats.Failures = append([]PeerFailure(nil), n.failures...)
+	stats := n.stats
+	n.mu.Unlock()
+	if err != nil {
+		return &stats, err
+	}
+	return &stats, nil
+}
+
+// dialRegister connects to the emulator and performs the handshake.
+// flags carries HsReRegister on reconnections.
+func dialRegister(cfg NodeConfig, flags uint8) (net.Conn, error) {
+	conn, err := net.DialTimeout("tcp", cfg.Addr, cfg.Timeout)
+	if err != nil {
+		return nil, fmt.Errorf("wire: node %d: %w", cfg.ID, err)
+	}
+	h := EncodeHandshake(cfg.ID, flags)
+	if _, err := conn.Write(h[:]); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("wire: node %d: handshake: %w", cfg.ID, err)
+	}
+	var reply [hsReplyLen]byte
+	conn.SetReadDeadline(time.Now().Add(cfg.Timeout))
+	if _, err := io.ReadFull(conn, reply[:]); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("wire: node %d: handshake reply: %w", cfg.ID, err)
+	}
+	conn.SetReadDeadline(time.Time{})
+	if reply[0] != HsOK {
+		conn.Close()
+		return nil, fmt.Errorf("wire: node %d: emulator rejected registration: %s",
+			cfg.ID, hsStatusString(reply[0]))
+	}
+	return conn, nil
+}
+
+// fail records a fatal error (once), closes the connection so blocked
+// reads unwind, and wakes every waiter.
+func (n *node) fail(err error) {
+	n.mu.Lock()
+	if n.fatalErr == nil && err != nil {
+		n.fatalErr = err
+	}
+	if n.conn != nil {
+		n.conn.Close()
+	}
+	n.cond.Broadcast()
+	n.mu.Unlock()
+}
+
+// watchdog enforces the rolling progress deadline: three consecutive
+// windows of Timeout/3 with no progress — no frame received, no epoch
+// sent, no reconnection — fail the node. Any progress resets the clock,
+// so a long run never needs an absolute deadline sized in advance.
+func (n *node) watchdog(stop chan struct{}) {
+	tick := n.cfg.Timeout / 3
+	if tick <= 0 {
+		tick = time.Second
+	}
+	last := n.progress.Load()
+	strikes := 0
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+		}
+		n.mu.Lock()
+		done := n.rxDone && n.txDone
+		n.mu.Unlock()
+		if done {
+			return
+		}
+		if now := n.progress.Load(); now != last {
+			last, strikes = now, 0
+			continue
+		}
+		strikes++
+		if strikes >= 3 {
+			n.fail(fmt.Errorf("wire: node %d: no progress for %v", n.cfg.ID, n.cfg.Timeout))
+			return
+		}
+	}
+}
+
+// relink replaces a broken connection with capped exponential backoff and
+// an HsReRegister handshake. failedGen identifies the connection the
+// caller saw fail; if another goroutine already replaced it, relink
+// returns immediately. On permanent failure the node fails.
+func (n *node) relink(failedGen int) error {
+	n.mu.Lock()
+	for n.relinking {
+		// Another goroutine (tx vs rx) observed the same failure first;
+		// wait for its verdict rather than double-dialing.
+		n.cond.Wait()
+	}
+	if n.gen != failedGen {
+		n.mu.Unlock()
+		return nil // already replaced
+	}
+	if n.fatalErr != nil {
+		err := n.fatalErr
+		n.mu.Unlock()
+		return err
+	}
+	n.relinking = true
+	if n.conn != nil {
+		n.conn.Close()
+		n.conn = nil
+	}
+	n.mu.Unlock()
+	defer func() {
+		n.mu.Lock()
+		n.relinking = false
+		n.cond.Broadcast()
+		n.mu.Unlock()
+	}()
+
+	backoff := n.cfg.ReconnectBase
+	var lastErr error
+	for attempt := 0; attempt < n.cfg.ReconnectAttempts; attempt++ {
+		conn, err := dialRegister(n.cfg, HsReRegister)
+		if err == nil {
+			n.mu.Lock()
+			n.conn = conn
+			n.gen++
+			n.stats.Reconnects++
+			// Forgive the gap our own outage created: peers transmitted
+			// while we were deaf, so judging them by pre-outage hearsay
+			// would manufacture false suspicions.
+			n.progress.Add(1)
+			n.cond.Broadcast()
+			n.mu.Unlock()
+			return nil
+		}
+		lastErr = err
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > reconnectCap {
+			backoff = reconnectCap
+		}
+	}
+	err := fmt.Errorf("wire: node %d: reconnect failed after %d attempts: %w",
+		n.cfg.ID, n.cfg.ReconnectAttempts, lastErr)
+	n.fail(err)
+	return err
+}
+
+// currentConn snapshots the connection and its generation.
+func (n *node) currentConn() (net.Conn, int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.conn, n.gen
+}
+
+// ---- Transmit side ----
+
+// txLoop drives the scheduled epochs: gate, transmit, flush; with scripted
+// crash/restart hooks at epoch boundaries, and a half-close when done so
+// the emulator learns this input has spoken its last.
+func (n *node) txLoop() error {
+	crashAt := n.cfg.Plan.CrashEpoch(n.cfg.ID)
+	restartAt := n.cfg.Plan.RestartEpoch(n.cfg.ID)
+
+	payload := make([]byte, n.cfg.PayloadBytes)
+	prbs := phy.NewPRBS(1)
+	encodeBuf := make([]byte, 0, cell.HeaderLen+n.cfg.PayloadBytes)
+
+	conn, gen := n.currentConn()
+	bw := bufio.NewWriterSize(conn, 64<<10)
+
+	for g := 0; g < n.cfg.Epochs; g++ {
+		if g == crashAt {
+			// Fail-stop: die mid-fabric with no farewell. The peers must
+			// notice from silence alone.
+			n.mu.Lock()
+			n.stats.Crashed = true
+			n.txDone = true
+			if n.conn != nil {
+				n.conn.Close()
+			}
+			n.cond.Broadcast()
+			n.mu.Unlock()
+			return nil
+		}
+		if g == restartAt {
+			// Scripted link flap: drop the connection and re-register.
+			n.mu.Lock()
+			failedGen := n.gen
+			if n.conn != nil {
+				n.conn.Close()
+			}
+			n.mu.Unlock()
+			if err := n.relink(failedGen); err != nil {
+				return err
+			}
+			conn, gen = n.currentConn()
+			bw = bufio.NewWriterSize(conn, 64<<10)
+		}
+
+		ejected, err := n.gate(g)
+		if err != nil {
+			return err
+		}
+		if ejected {
+			break // the fabric has compacted us out; stop transmitting
+		}
+
+		if err := n.sendEpoch(g, bw, conn, prbs, payload, &encodeBuf); err != nil {
+			// One broken pipe does not end the run: re-register and move
+			// on to the next epoch (this epoch's remaining cells are the
+			// documented in-flight loss of a link flap).
+			if rerr := n.relink(gen); rerr != nil {
+				return rerr
+			}
+			conn, gen = n.currentConn()
+			bw = bufio.NewWriterSize(conn, 64<<10)
+		}
+		n.progress.Add(1)
+	}
+
+	n.mu.Lock()
+	n.txDone = true
+	c := n.conn
+	n.cond.Broadcast()
+	n.mu.Unlock()
+	// Half-close: our input to the grating is complete, but we keep
+	// reading until the emulator closes the fabric.
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.CloseWrite()
+	}
+	return nil
+}
+
+// sendEpoch transmits epoch g's slots under the current schedule.
+func (n *node) sendEpoch(g int, bw *bufio.Writer, conn net.Conn,
+	prbs *phy.PRBS, payload []byte, encodeBuf *[]byte) error {
+
+	n.mu.Lock()
+	sched, live, myIdx := n.sched, n.live, n.myIdx
+	floods := n.activeFloodsLocked(g)
+	n.mu.Unlock()
+
+	conn.SetWriteDeadline(time.Now().Add(n.cfg.Timeout))
+	defer conn.SetWriteDeadline(time.Time{})
+
+	slots := sched.SlotsPerEpoch()
+	for slot := 0; slot < slots; slot++ {
+		dstOrig := live[sched.Dst(myIdx, 0, slot)]
+		// The grating wavelength is schedule-independent: wavelength w on
+		// input i exits on output (i+w) mod N, so reaching dstOrig always
+		// takes w = dstOrig - src mod N, whichever schedule chose it.
+		w := uint8((dstOrig - n.cfg.ID + n.cfg.Nodes) % n.cfg.Nodes)
+		seq := uint32(g)<<8 | uint32(slot)
+		c := cell.Cell{
+			Kind: cell.KindData,
+			Src:  uint16(n.cfg.ID),
+			Dst:  uint16(dstOrig),
+			Seq:  seq,
+		}
+		if len(floods) > 0 {
+			f := floods[slot%len(floods)]
+			c.SetSuspicion(f.Peer, f.SwitchEpoch)
+		}
+		prbs.Reset(prbsSeed(c.Src, c.Dst, seq))
+		prbs.Fill(payload)
+		c.Payload = payload
+		*encodeBuf = c.Encode((*encodeBuf)[:0])
+		if err := WriteFrame(bw, w, *encodeBuf); err != nil {
+			return err
+		}
+		n.mu.Lock()
+		n.stats.Sent++
+		n.mu.Unlock()
+	}
+	return bw.Flush()
+}
+
+// activeFloodsLocked returns the suspicions still being flooded at epoch
+// g: every suspected peer whose switch epoch has not yet passed. Called
+// with n.mu held.
+func (n *node) activeFloodsLocked(g int) []PeerFailure {
+	var out []PeerFailure
+	for _, f := range n.failures {
+		if f.SwitchEpoch > g {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// gate blocks until the node may transmit epoch g: it must have heard
+// epoch g-1 from every live, unsuspected peer (including itself through
+// the grating — the self-loop slot proves the node's own link works).
+//
+// The wait has an absolute deadline of SuspectTimeout per gate — advanced
+// by nothing, so a chatty subset of peers cannot postpone judgement of a
+// silent one. At the deadline each lagging peer is judged by the
+// gap-based health.Observer: a peer silent for MissThreshold consecutive
+// epochs is suspected, the suspicion is recorded for flooding with an
+// agreed switch epoch g+2 (one epoch to flood, one to align), and the
+// gate passes optimistically either way.
+//
+// gate also applies any due schedule switches (suspicions whose switch
+// epoch has arrived), compacting the schedule over the survivors; if this
+// node is itself the confirmed victim, gate reports ejection.
+func (n *node) gate(g int) (ejected bool, err error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+
+	if ej, err := n.applySwitchesLocked(g); ej || err != nil {
+		return ej, err
+	}
+
+	deadline := time.Now().Add(n.cfg.SuspectTimeout)
+	timer := time.AfterFunc(n.cfg.SuspectTimeout, func() {
+		n.mu.Lock()
+		n.mu.Unlock() //nolint:staticcheck // lock/unlock pairs the broadcast with waiters
+		n.cond.Broadcast()
+	})
+	defer timer.Stop()
+
+	for {
+		if n.fatalErr != nil {
+			return false, n.fatalErr
+		}
+		lagging := n.laggingLocked(g)
+		if len(lagging) == 0 {
+			return false, nil
+		}
+		if !time.Now().Before(deadline) {
+			// Judge the laggards; suspect those over threshold, then pass.
+			for _, p := range lagging {
+				if !n.obs.Judge(p, n.heard[p], g) {
+					continue
+				}
+				if p == n.cfg.ID {
+					return false, fmt.Errorf(
+						"wire: node %d: own transmissions not returning (link dead beyond epoch %d)",
+						n.cfg.ID, n.heard[p])
+				}
+				n.recordSuspicionLocked(p, g, g+2)
+			}
+			return false, nil
+		}
+		n.cond.Wait()
+	}
+}
+
+// laggingLocked lists the unsuspected peers not yet heard at epoch g-1.
+// Called with n.mu held.
+func (n *node) laggingLocked(g int) []int {
+	var out []int
+	for p := 0; p < n.cfg.Nodes; p++ {
+		if n.suspected[p] {
+			continue
+		}
+		if n.heard[p] < g-1 {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// recordSuspicionLocked registers a (possibly adopted) suspicion of peer
+// p with the given suspect epoch and agreed switch epoch. If the peer was
+// already suspected with a later switch epoch, the earlier one wins, so
+// concurrent independent detections converge on the minimum. Called with
+// n.mu held.
+func (n *node) recordSuspicionLocked(p, suspectEpoch, sw int) {
+	if n.suspected[p] && n.switchEpoch[p] <= sw {
+		return
+	}
+	n.suspected[p] = true
+	n.switchEpoch[p] = sw
+	f := PeerFailure{Peer: p, SuspectEpoch: suspectEpoch, ConfirmEpoch: sw - 1, SwitchEpoch: sw}
+	for i := range n.failures {
+		if n.failures[i].Peer == p {
+			n.failures[i] = f
+			n.cond.Broadcast()
+			return
+		}
+	}
+	n.failures = append(n.failures, f)
+	n.cond.Broadcast()
+}
+
+// applySwitchesLocked folds every suspicion whose switch epoch has
+// arrived into the schedule: the fabric-wide agreed compaction (§4.5).
+// Called with n.mu held.
+func (n *node) applySwitchesLocked(g int) (ejected bool, err error) {
+	changed := false
+	for p := 0; p < n.cfg.Nodes; p++ {
+		if n.suspected[p] && !n.applied[p] && n.switchEpoch[p] <= g {
+			n.applied[p] = true
+			changed = true
+		}
+	}
+	if !changed {
+		return false, nil
+	}
+	var failed []int
+	for p := 0; p < n.cfg.Nodes; p++ {
+		if n.applied[p] {
+			failed = append(failed, p)
+		}
+	}
+	if n.applied[n.cfg.ID] {
+		n.stats.Ejected = true
+		return true, nil
+	}
+	base, err := schedule.NewGrouped(n.cfg.Nodes, n.cfg.Nodes, 1)
+	if err != nil {
+		return false, err
+	}
+	compacted, live, err := schedule.Compact(base, failed)
+	if err != nil {
+		return false, fmt.Errorf("wire: node %d: compact: %w", n.cfg.ID, err)
+	}
+	n.sched, n.live = compacted, live
+	for i, orig := range live {
+		if orig == n.cfg.ID {
+			n.myIdx = i
+		}
+	}
+	return false, nil
+}
+
+// ---- Receive side ----
+
+// rxLoop drains frames until the emulator closes the fabric (EOF after
+// txDone) or a fatal error. Across scripted restarts it follows the
+// replacement connection.
+func (n *node) rxLoop() {
+	for {
+		conn, gen := n.currentConn()
+		if conn == nil {
+			// Between relinks; wait for a replacement or the end.
+			n.mu.Lock()
+			for n.gen == gen && n.fatalErr == nil && !(n.txDone && n.stats.Crashed) {
+				n.cond.Wait()
+			}
+			crashed := n.stats.Crashed
+			fatal := n.fatalErr != nil
+			n.mu.Unlock()
+			if fatal || crashed {
+				n.finishRx(nil)
+				return
+			}
+			continue
+		}
+		err := n.rxOnConn(conn)
+
+		n.mu.Lock()
+		replaced := n.gen != gen
+		txDone := n.txDone
+		crashed := n.stats.Crashed
+		fatal := n.fatalErr != nil
+		n.mu.Unlock()
+
+		switch {
+		case fatal || crashed:
+			n.finishRx(nil)
+			return
+		case replaced:
+			continue // a relink swapped the connection under us
+		case txDone:
+			// Normal end: the emulator closed the fabric once every input
+			// reached its final EOF; we have read everything routed to us.
+			n.finishRx(nil)
+			return
+		default:
+			// Connection broke mid-run: re-register and keep receiving.
+			if rerr := n.relink(gen); rerr != nil {
+				n.finishRx(rerr)
+				return
+			}
+		}
+		_ = err
+	}
+}
+
+// finishRx marks the receive side complete.
+func (n *node) finishRx(err error) {
+	n.mu.Lock()
+	if err != nil && n.fatalErr == nil {
+		n.fatalErr = err
+	}
+	n.rxDone = true
+	n.cond.Broadcast()
+	n.mu.Unlock()
+}
+
+// rxOnConn reads frames from one connection until it errors or EOFs.
+func (n *node) rxOnConn(conn net.Conn) error {
+	br := bufio.NewReaderSize(conn, 64<<10)
+	prbs := phy.NewPRBS(1)
+	for {
+		_, raw, err := ReadFrame(br)
+		if err != nil {
+			return err
+		}
+		n.handleCell(raw, prbs)
+	}
+}
+
+// handleCell processes one received cell: epoch bookkeeping for the gate,
+// PRBS verification, suspicion adoption, and stats.
+func (n *node) handleCell(raw []byte, prbs *phy.PRBS) {
+	c, _, err := cell.Decode(raw)
+	if err != nil {
+		return // defensively ignore undecodable frames
+	}
+	ep := int(c.Seq >> 8)
+	src := int(c.Src)
+
+	n.progress.Add(1)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	defer n.cond.Broadcast()
+
+	if src >= 0 && src < n.cfg.Nodes && ep > n.heard[src] {
+		n.heard[src] = ep
+	}
+	if p, sw, ok := c.Suspicion(); ok && p >= 0 && p < n.cfg.Nodes {
+		// Adopt the flooded suspicion: the originator judged at sw-2 and
+		// the flood makes it fabric-wide knowledge by sw-1.
+		n.recordSuspicionLocked(p, sw-2, sw)
+	}
+	if c.Kind != cell.KindData {
+		return
+	}
+	n.stats.Received++
+	if n.stats.RxPerEpoch != nil && ep >= 0 && ep < len(n.stats.RxPerEpoch) {
+		n.stats.RxPerEpoch[ep]++
+	}
+	if int(c.Dst) != n.cfg.ID {
+		n.stats.Misrouted++
+		return
+	}
+	prbs.Reset(prbsSeed(c.Src, c.Dst, c.Seq))
+	n.stats.BitErrors += int64(prbs.CountErrors(c.Payload))
+	n.stats.Bits += int64(len(c.Payload)) * 8
+}

@@ -12,22 +12,26 @@
 // configurable probability, standing in for operation below receiver
 // sensitivity, which the nodes detect with their PRBS checkers exactly as
 // the FPGAs do.
+//
+// Beyond the clean-channel experiment, the package implements the §4.5
+// failure story live: a deterministic fault plan (internal/fault) injects
+// node crashes, link flaps, grey (per-port-pair) blackholes, per-port BER
+// degradation, and frame stalls, while the nodes detect silent peers with
+// the in-band epoch gap the cyclic schedule provides (health.Observer),
+// flood suspicions piggybacked on data cells, and switch the whole fabric
+// to a compacted schedule at an agreed epoch boundary — all without any
+// absolute run deadline: progress deadlines roll forward, dead peers'
+// frames are accounted against their confirmed failure, and a broken
+// connection re-registers with capped exponential backoff instead of
+// tearing the fabric down.
 package wire
 
 import (
-	"bufio"
 	"encoding/binary"
-	"errors"
 	"fmt"
 	"io"
-	"net"
-	"sync"
-	"time"
 
 	"sirius/internal/cell"
-	"sirius/internal/phy"
-	"sirius/internal/rng"
-	"sirius/internal/schedule"
 )
 
 // Frame layout: u32 payload length | u8 wavelength | cell bytes.
@@ -65,360 +69,74 @@ func ReadFrame(r io.Reader) (wavelength uint8, cellBytes []byte, err error) {
 	return h[4], buf, nil
 }
 
-// Emulator is the AWGR stand-in: it accepts one TCP connection per port
-// and routes frames cyclically by wavelength.
-type Emulator struct {
-	ln       net.Listener
-	ports    int
-	flipProb float64
+// ---- Handshake ----
+//
+// A node introduces itself with a fixed 4-byte request and the emulator
+// answers with a 2-byte reply, so a rejected client learns *why* instead
+// of seeing a bare connection reset, and a buggy or malicious client can
+// never take the fabric down — the emulator rejects and keeps accepting.
 
-	mu    sync.Mutex
-	wmu   []sync.Mutex
-	conns []net.Conn
-	r     *rng.RNG
+const (
+	hsMagic    = 0xA7
+	hsVersion  = 1
+	hsLen      = 4
+	hsReplyLen = 2
+)
 
-	routed      int64
-	bitsFlipped int64
+// Handshake flags.
+const (
+	// HsReRegister marks a reconnection: the emulator replaces any prior
+	// connection for the port instead of rejecting a duplicate.
+	HsReRegister uint8 = 1 << iota
+)
 
-	wg     sync.WaitGroup
-	closed chan struct{}
+// Handshake reply statuses.
+const (
+	HsOK        uint8 = 0
+	HsBadMagic  uint8 = 1
+	HsBadPort   uint8 = 2
+	HsDuplicate uint8 = 3
+)
+
+// EncodeHandshake builds the 4-byte handshake request for a port.
+func EncodeHandshake(port int, flags uint8) [hsLen]byte {
+	return [hsLen]byte{hsMagic, hsVersion, uint8(port), flags}
 }
 
-// NewEmulator starts an emulator listening on 127.0.0.1 (ephemeral port)
-// for the given number of node ports. flipProb is the per-bit corruption
-// probability applied to cell payloads (0 = clean channel).
-func NewEmulator(ports int, flipProb float64, seed uint64) (*Emulator, error) {
-	return NewEmulatorAddr("127.0.0.1:0", ports, flipProb, seed)
+// ParseHandshake validates a handshake request and returns the port and
+// flags. A non-nil error maps to the returned reject status.
+func ParseHandshake(h [hsLen]byte, ports int) (port int, flags uint8, status uint8, err error) {
+	if h[0] != hsMagic || h[1] != hsVersion {
+		return 0, 0, HsBadMagic, fmt.Errorf("wire: bad handshake magic/version %#x/%d", h[0], h[1])
+	}
+	port = int(h[2])
+	if port < 0 || port >= ports {
+		return 0, 0, HsBadPort, fmt.Errorf("wire: port %d out of range [0,%d)", port, ports)
+	}
+	return port, h[3], HsOK, nil
 }
 
-// NewEmulatorAddr is NewEmulator with an explicit listen address, for
-// running the grating emulator as its own process (even on another
-// machine) with nodes joining over the network.
-func NewEmulatorAddr(addr string, ports int, flipProb float64, seed uint64) (*Emulator, error) {
-	if ports < 2 {
-		return nil, fmt.Errorf("wire: need >= 2 ports")
+// hsStatusString names a reject status for error messages.
+func hsStatusString(s uint8) string {
+	switch s {
+	case HsOK:
+		return "ok"
+	case HsBadMagic:
+		return "bad magic/version"
+	case HsBadPort:
+		return "port out of range"
+	case HsDuplicate:
+		return "port already connected"
 	}
-	if flipProb < 0 || flipProb >= 1 {
-		return nil, fmt.Errorf("wire: flip probability %v outside [0,1)", flipProb)
-	}
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
-	return &Emulator{
-		ln:       ln,
-		ports:    ports,
-		flipProb: flipProb,
-		wmu:      make([]sync.Mutex, ports),
-		conns:    make([]net.Conn, ports),
-		r:        rng.New(seed),
-		closed:   make(chan struct{}),
-	}, nil
+	return fmt.Sprintf("status %d", s)
 }
 
-// Addr returns the emulator's listen address.
-func (e *Emulator) Addr() string { return e.ln.Addr().String() }
-
-// Serve accepts the node connections and routes frames until every input
-// closes. It returns the number of frames routed.
-func (e *Emulator) Serve() error {
-	for i := 0; i < e.ports; i++ {
-		conn, err := e.ln.Accept()
-		if err != nil {
-			return err
-		}
-		// Handshake: one byte naming the node's port.
-		var id [1]byte
-		if _, err := io.ReadFull(conn, id[:]); err != nil {
-			conn.Close()
-			return fmt.Errorf("wire: handshake: %w", err)
-		}
-		port := int(id[0])
-		if port < 0 || port >= e.ports {
-			conn.Close()
-			return fmt.Errorf("wire: bad port %d in handshake", port)
-		}
-		e.mu.Lock()
-		if e.conns[port] != nil {
-			e.mu.Unlock()
-			conn.Close()
-			return fmt.Errorf("wire: port %d connected twice", port)
-		}
-		e.conns[port] = conn
-		e.mu.Unlock()
-	}
-	// All ports connected: route.
-	for p := 0; p < e.ports; p++ {
-		p := p
-		e.wg.Add(1)
-		go func() {
-			defer e.wg.Done()
-			e.routeFrom(p)
-		}()
-	}
-	e.wg.Wait()
-	close(e.closed)
-	return nil
-}
-
-// routeFrom forwards frames arriving on input port p.
-func (e *Emulator) routeFrom(p int) {
-	in := bufio.NewReader(e.conns[p])
-	for {
-		w, buf, err := ReadFrame(in)
-		if err != nil {
-			return // EOF or broken pipe: the node is done
-		}
-		// Cyclic AWGR routing: wavelength w from input p exits port
-		// (p+w) mod N.
-		out := (p + int(w)) % e.ports
-		e.corrupt(buf)
-		e.wmu[out].Lock()
-		err = WriteFrame(e.conns[out], w, buf)
-		e.wmu[out].Unlock()
-		if err != nil {
-			return
-		}
-		e.mu.Lock()
-		e.routed++
-		e.mu.Unlock()
-	}
-}
-
-// corrupt flips payload bits (never header bits — real Sirius protects
-// framing with its preamble and FEC framing survives) with flipProb.
-func (e *Emulator) corrupt(frame []byte) {
-	if e.flipProb == 0 || len(frame) <= cell.HeaderLen {
-		return
-	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	payload := frame[cell.HeaderLen:]
-	// Draw the number of flips from the expected count; cheap Bernoulli
-	// per byte keeps it simple for the small prototype volumes.
-	for i := range payload {
-		for b := 0; b < 8; b++ {
-			if e.r.Float64() < e.flipProb {
-				payload[i] ^= 1 << b
-				e.bitsFlipped++
-			}
-		}
-	}
-}
-
-// Routed returns the number of frames forwarded.
-func (e *Emulator) Routed() int64 {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.routed
-}
-
-// Close shuts the emulator down.
-func (e *Emulator) Close() error { return e.ln.Close() }
-
-// NodeStats reports one node's run.
-type NodeStats struct {
-	Node      int
-	Sent      int
-	Received  int
-	Misrouted int
-	BitErrors int
-	Bits      int64
-}
-
-// BER returns the measured payload bit error rate.
-func (s NodeStats) BER() float64 {
-	if s.Bits == 0 {
+// cellEpoch extracts the fabric epoch carried in-band by a framed cell's
+// sequence number (Seq = epoch<<8 | slot). Frames too short to carry a
+// cell header report epoch 0.
+func cellEpoch(cellBytes []byte) int {
+	if len(cellBytes) < cell.HeaderLen {
 		return 0
 	}
-	return float64(s.BitErrors) / float64(s.Bits)
-}
-
-// NodeConfig configures one emulated node.
-type NodeConfig struct {
-	ID           int
-	Addr         string // emulator address
-	Nodes        int
-	Epochs       int
-	PayloadBytes int
-	Timeout      time.Duration
-}
-
-// RunNode connects to the emulator and runs the cyclic schedule for the
-// configured number of epochs: every slot it "tunes" to the slot's
-// wavelength and transmits a PRBS-filled cell; concurrently it verifies
-// every received cell against the per-source expected PRBS stream.
-func RunNode(cfg NodeConfig) (NodeStats, error) {
-	stats := NodeStats{Node: cfg.ID}
-	if cfg.Nodes < 2 || cfg.ID < 0 || cfg.ID >= cfg.Nodes {
-		return stats, fmt.Errorf("wire: bad node id %d of %d", cfg.ID, cfg.Nodes)
-	}
-	if cfg.PayloadBytes < 1 {
-		return stats, fmt.Errorf("wire: need at least 1 payload byte")
-	}
-	if cfg.Timeout == 0 {
-		cfg.Timeout = 30 * time.Second
-	}
-	// The prototype wiring: one uplink per node, all nodes on one
-	// grating (the paper's 4-node testbed).
-	sched, err := schedule.NewGrouped(cfg.Nodes, cfg.Nodes, 1)
-	if err != nil {
-		return stats, err
-	}
-	conn, err := net.Dial("tcp", cfg.Addr)
-	if err != nil {
-		return stats, err
-	}
-	defer conn.Close()
-	conn.SetDeadline(time.Now().Add(cfg.Timeout))
-	if _, err := conn.Write([]byte{byte(cfg.ID)}); err != nil {
-		return stats, err
-	}
-
-	expected := cfg.Epochs * sched.SlotsPerEpoch()
-	errc := make(chan error, 1)
-	var mu sync.Mutex // guards stats during the receive goroutine
-
-	// Receiver: every pair is connected once per epoch, so per-source
-	// PRBS streams verify in order.
-	go func() {
-		rxPRBS := make(map[uint16]*phy.PRBS)
-		in := bufio.NewReader(conn)
-		for i := 0; i < expected; i++ {
-			_, buf, err := ReadFrame(in)
-			if err != nil {
-				errc <- fmt.Errorf("wire: node %d receive: %w", cfg.ID, err)
-				return
-			}
-			c, _, err := cell.Decode(buf)
-			if err != nil {
-				errc <- err
-				return
-			}
-			mu.Lock()
-			stats.Received++
-			if int(c.Dst) != cfg.ID {
-				stats.Misrouted++
-			} else {
-				p := rxPRBS[c.Src]
-				if p == nil {
-					p = phy.NewPRBS(prbsSeed(int(c.Src), cfg.ID))
-					rxPRBS[c.Src] = p
-				}
-				stats.BitErrors += p.CountErrors(c.Payload)
-				stats.Bits += int64(len(c.Payload)) * 8
-			}
-			mu.Unlock()
-		}
-		errc <- nil
-	}()
-
-	// Transmitter: follow the schedule.
-	txPRBS := make([]*phy.PRBS, cfg.Nodes)
-	out := bufio.NewWriter(conn)
-	payload := make([]byte, cfg.PayloadBytes)
-	var frame []byte
-	for epoch := 0; epoch < cfg.Epochs; epoch++ {
-		for slot := 0; slot < sched.SlotsPerEpoch(); slot++ {
-			dst := sched.Dst(cfg.ID, 0, slot)
-			w := sched.Wavelength(cfg.ID, 0, slot)
-			if txPRBS[dst] == nil {
-				txPRBS[dst] = phy.NewPRBS(prbsSeed(cfg.ID, dst))
-			}
-			txPRBS[dst].Fill(payload)
-			c := cell.Cell{
-				Kind:    cell.KindData,
-				Src:     uint16(cfg.ID),
-				Dst:     uint16(dst),
-				Seq:     uint32(epoch*sched.SlotsPerEpoch() + slot),
-				Payload: payload,
-			}
-			frame = c.Encode(frame[:0])
-			if err := WriteFrame(out, uint8(w), frame); err != nil {
-				return stats, err
-			}
-			mu.Lock()
-			stats.Sent++
-			mu.Unlock()
-		}
-		if err := out.Flush(); err != nil {
-			return stats, err
-		}
-	}
-	if err := out.Flush(); err != nil {
-		return stats, err
-	}
-	if err := <-errc; err != nil {
-		return stats, err
-	}
-	mu.Lock()
-	defer mu.Unlock()
-	return stats, nil
-}
-
-// prbsSeed derives the per-pair PRBS seed both ends agree on.
-func prbsSeed(src, dst int) uint32 {
-	return uint32(src)<<16 | uint32(dst) | 1
-}
-
-// Stats aggregates a full prototype run.
-type Stats struct {
-	Nodes   []NodeStats
-	Routed  int64
-	Cells   int
-	BER     float64
-	ErrFree bool // post-FEC error-free claim: BER below the FEC threshold
-}
-
-// RunPrototype runs the complete testbed in-process: an emulator plus
-// `nodes` node loops, each for `epochs` epochs, with the given per-bit
-// corruption probability. It reproduces the paper's §6 system experiment.
-func RunPrototype(nodes, epochs, payloadBytes int, flipProb float64) (*Stats, error) {
-	em, err := NewEmulator(nodes, flipProb, 42)
-	if err != nil {
-		return nil, err
-	}
-	defer em.Close()
-	serveErr := make(chan error, 1)
-	go func() { serveErr <- em.Serve() }()
-
-	results := make([]NodeStats, nodes)
-	errs := make([]error, nodes)
-	var wg sync.WaitGroup
-	for id := 0; id < nodes; id++ {
-		id := id
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			results[id], errs[id] = RunNode(NodeConfig{
-				ID:           id,
-				Addr:         em.Addr(),
-				Nodes:        nodes,
-				Epochs:       epochs,
-				PayloadBytes: payloadBytes,
-			})
-		}()
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	if err := <-serveErr; err != nil && !errors.Is(err, net.ErrClosed) {
-		return nil, err
-	}
-
-	st := &Stats{Nodes: results, Routed: em.Routed()}
-	var errBits, bits int64
-	for _, r := range results {
-		st.Cells += r.Received
-		errBits += int64(r.BitErrors)
-		bits += r.Bits
-	}
-	if bits > 0 {
-		st.BER = float64(errBits) / float64(bits)
-	}
-	st.ErrFree = st.BER <= 2e-4 // the standard FEC threshold of §6
-	return st, nil
+	return int(binary.BigEndian.Uint32(cellBytes[12:16]) >> 8)
 }

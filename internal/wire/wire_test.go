@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bytes"
+	"io"
 	"math"
 	"net"
 	"testing"
@@ -177,6 +178,8 @@ func TestRunNodeConnectFailure(t *testing.T) {
 }
 
 func TestEmulatorRejectsBadHandshake(t *testing.T) {
+	// A malformed handshake is rejected with a status reply — and the
+	// emulator keeps serving: a buggy client cannot take the fabric down.
 	em, err := NewEmulator(2, 0, 1)
 	if err != nil {
 		t.Fatal(err)
@@ -184,13 +187,41 @@ func TestEmulatorRejectsBadHandshake(t *testing.T) {
 	defer em.Close()
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- em.Serve() }()
-	conn, err := net.Dial("tcp", em.Addr())
+
+	badConn, err := net.Dial("tcp", em.Addr())
 	if err != nil {
 		t.Fatal(err)
 	}
-	conn.Write([]byte{99}) // port out of range
-	conn.Close()
-	if err := <-serveErr; err == nil {
-		t.Error("bad handshake accepted")
+	badConn.Write([]byte{0xA7, 1, 99, 0}) // port out of range
+	var reply [hsReplyLen]byte
+	if _, err := io.ReadFull(badConn, reply[:]); err != nil {
+		t.Fatalf("no reject reply: %v", err)
+	}
+	if reply[0] != HsBadPort {
+		t.Errorf("reject status = %s, want %s", hsStatusString(reply[0]), hsStatusString(HsBadPort))
+	}
+	badConn.Close()
+
+	// The emulator is still accepting: a valid registration succeeds.
+	goodConn, err := net.Dial("tcp", em.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer goodConn.Close()
+	h := EncodeHandshake(0, 0)
+	goodConn.Write(h[:])
+	if _, err := io.ReadFull(goodConn, reply[:]); err != nil {
+		t.Fatalf("valid handshake after reject got no reply: %v", err)
+	}
+	if reply[0] != HsOK {
+		t.Errorf("valid handshake rejected: %s", hsStatusString(reply[0]))
+	}
+	if em.Rejected() != 1 {
+		t.Errorf("rejected count = %d, want 1", em.Rejected())
+	}
+
+	em.Close()
+	if err := <-serveErr; err != nil {
+		t.Errorf("Serve returned %v after Close, want nil", err)
 	}
 }

@@ -6,8 +6,10 @@ package sirius
 
 import (
 	"testing"
+	"time"
 
 	"sirius/internal/core"
+	"sirius/internal/fault"
 	"sirius/internal/phy"
 	"sirius/internal/schedule"
 	"sirius/internal/simtime"
@@ -126,6 +128,114 @@ func TestSoakPrototypeLongRun(t *testing.T) {
 	for _, n := range st.Nodes {
 		if n.Misrouted != 0 || n.Received != 20_000 {
 			t.Errorf("node %+v", n)
+		}
+	}
+}
+
+func TestSoakFaultyFabric(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	// A faulty-fabric soak: one seeded plan layers every fault kind over a
+	// 300-epoch run — a transient stall, a restart flap, a short grey
+	// blackhole (too brief to trip the suspicion threshold), a BER
+	// degradation window, and finally a fail-stop crash. The survivors
+	// must detect the crash at the model-predicted latency, compact, and
+	// finish error-free; and because every random choice flows from the
+	// plan seed, a second run must reproduce the first byte-identically.
+	const (
+		nodes  = 5
+		epochs = 300
+	)
+	plan := &fault.Plan{Seed: 2024, Events: []fault.Event{
+		{Kind: fault.Stall, Src: 0, Epoch: 20, Until: 40, DelayMicros: 200},
+		{Kind: fault.Restart, Node: 1, Epoch: 30},
+		{Kind: fault.Grey, Src: 3, Dst: 0, Epoch: 80, Until: 82},
+		{Kind: fault.Degrade, Src: 2, Epoch: 100, Until: 200, FlipProb: 5e-5},
+		{Kind: fault.Crash, Node: 4, Epoch: 60},
+	}}
+
+	run := func() *wire.FaultStats {
+		t.Helper()
+		fs, err := wire.RunPrototypeCfg(wire.PrototypeConfig{
+			Nodes:        nodes,
+			Epochs:       epochs,
+			PayloadBytes: 64,
+			Plan:         plan,
+			// Localhost doesn't need the production silence budget; keep
+			// the three silent gate waits short.
+			SuspectTimeout: 250 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fs
+	}
+
+	start := time.Now()
+	a := run()
+	if d := time.Since(start); d > 60*time.Second {
+		t.Errorf("faulty soak took %v; graceful degradation should finish in seconds", d)
+	}
+
+	// The crash — and only the crash — becomes a confirmed failure: the
+	// stall and the restart flap are survivable, and the grey window is
+	// shorter than the suspicion threshold.
+	if len(a.Failures) != 1 || a.Failures[0].Peer != 4 {
+		t.Fatalf("failures = %+v, want exactly node 4", a.Failures)
+	}
+	if a.KillEpoch != 60 {
+		t.Errorf("kill epoch = %d, want 60", a.KillEpoch)
+	}
+	if a.DetectEpochs != 4 {
+		t.Errorf("kill-to-confirm = %d epochs, want 4 (threshold+1)", a.DetectEpochs)
+	}
+	if a.Survivors != nodes-1 {
+		t.Errorf("survivors = %d, want %d", a.Survivors, nodes-1)
+	}
+	if a.CompactedGoodput < 0.99 {
+		t.Errorf("compacted slot utilization = %.3f, want ~1", a.CompactedGoodput)
+	}
+	// The degradation window injects real bit errors, but far below the
+	// FEC budget: the run is noisy yet still error-free post-FEC.
+	if a.BER == 0 {
+		t.Error("degrade window injected no bit errors")
+	}
+	if !a.ErrFree {
+		t.Errorf("BER %v exceeded the FEC budget", a.BER)
+	}
+	for _, n := range a.Nodes {
+		if n.Node == 1 && n.Reconnects != 1 {
+			t.Errorf("flapped node reconnects = %d, want 1", n.Reconnects)
+		}
+		if n.Misrouted != 0 {
+			t.Errorf("node %d misrouted %d", n.Node, n.Misrouted)
+		}
+	}
+
+	// Replay: everything the seed controls reproduces exactly — the plan
+	// hash, every transmission decision, every injected bit flip, and the
+	// failure timeline. The one thing real TCP cannot make deterministic
+	// is whether a frame already in flight when the restart flap tears
+	// down node 1's connection lands or dies with the socket, so Received
+	// is compared with a one-epoch tolerance; the strict byte-identical
+	// replay guarantee for flap-free plans is pinned down by the
+	// determinism tests in internal/wire.
+	b := run()
+	if a.PlanHash != b.PlanHash {
+		t.Fatalf("plan hash changed across runs: %s vs %s", a.PlanHash, b.PlanHash)
+	}
+	if len(a.Failures) != len(b.Failures) || a.Failures[0] != b.Failures[0] {
+		t.Errorf("failure timeline drift: %+v vs %+v", a.Failures, b.Failures)
+	}
+	for i := range a.Nodes {
+		x, y := a.Nodes[i], b.Nodes[i]
+		if x.Sent != y.Sent || x.BitErrors != y.BitErrors {
+			t.Errorf("node %d drift: %+v vs %+v", x.Node, x, y)
+		}
+		if d := x.Received - y.Received; d < -nodes || d > nodes {
+			t.Errorf("node %d received %d vs %d, beyond flap tolerance",
+				x.Node, x.Received, y.Received)
 		}
 	}
 }
