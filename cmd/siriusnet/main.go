@@ -16,6 +16,15 @@
 // -flip injects per-bit corruption (emulating operation below receiver
 // sensitivity); the PRBS checkers must detect exactly that rate.
 //
+// Observability: -telemetry ADDR serves live /metrics (Prometheus text),
+// /healthz (degraded while a failure is suspected, healthy once the
+// fabric compacts) and /debug/vars for the duration of the run;
+// -telemetry-hold keeps the endpoints up after the run completes until
+// SIGINT, so external scrapers and smoke tests can poll a finished
+// fabric. -trace-events FILE writes a Chrome trace_event JSON timeline
+// (per-epoch spans, suspect/schedule-switch instants) loadable in
+// Perfetto or chrome://tracing.
+//
 // Fault injection (§4.5): -faultplan loads a scripted, seeded plan of
 // crashes, restarts, grey blackholes, BER degradations, and stalls
 // (internal/fault JSON); -kill-node/-kill-epoch is shorthand for the
@@ -29,8 +38,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"sirius/internal/fault"
+	"sirius/internal/telemetry"
 	"sirius/internal/wire"
 )
 
@@ -49,8 +61,52 @@ func main() {
 		killNode  = flag.Int("kill-node", -1, "shorthand: fail-stop this node...")
 		killEpoch = flag.Int("kill-epoch", 0, "...at this fabric epoch")
 		seed      = flag.Uint64("seed", 42, "seed for every random choice (corruption substreams)")
+
+		telAddr     = flag.String("telemetry", "", "serve live /metrics, /healthz and /debug/vars on this address (e.g. 127.0.0.1:9090)")
+		telHold     = flag.Bool("telemetry-hold", false, "keep serving telemetry after the run completes, until SIGINT")
+		traceEvents = flag.String("trace-events", "", "write a Chrome trace_event JSON timeline to this file")
 	)
 	flag.Parse()
+
+	// Observability plane: one registry, health tracker and tracer for
+	// whatever roles run in this process. The registry is the process
+	// Default so role-specific code paths that fall back to it (and any
+	// future expvar-style probes) land in the same place the HTTP server
+	// scrapes.
+	reg := telemetry.Default
+	health := telemetry.NewHealth(256)
+	var tracer *telemetry.Tracer // nil disables tracing (nil-safe everywhere)
+	if *traceEvents != "" {
+		tracer = telemetry.NewTracer(0)
+	}
+	var srv *telemetry.Server
+	if *telAddr != "" {
+		s, err := telemetry.NewServer(*telAddr, reg, health)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "siriusnet: telemetry: %v\n", err)
+			os.Exit(2)
+		}
+		srv = s
+		defer srv.Close()
+		fmt.Printf("telemetry: serving /metrics and /healthz on http://%s\n", srv.Addr())
+	}
+	// flushObs writes the trace file and optionally holds the HTTP
+	// endpoints open; call it right before a successful exit.
+	flushObs := func() {
+		if tracer != nil {
+			if err := tracer.WriteJSONFile(*traceEvents); err != nil {
+				fmt.Fprintf(os.Stderr, "siriusnet: trace-events: %v\n", err)
+			} else {
+				fmt.Printf("trace events written to %s (%d dropped)\n", *traceEvents, tracer.Dropped())
+			}
+		}
+		if srv != nil && *telHold {
+			fmt.Printf("telemetry: holding http://%s until SIGINT\n", srv.Addr())
+			ch := make(chan os.Signal, 1)
+			signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+			<-ch
+		}
+	}
 
 	plan, err := loadPlan(*planPath, *killNode, *killEpoch, *seed)
 	if err != nil {
@@ -68,6 +124,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "siriusnet: %v\n", err)
 			os.Exit(1)
 		}
+		em.Instrument(reg, health)
 		fmt.Printf("AWGR emulator: %d ports on %s (flip %g)\n", *nodes, em.Addr(), *flip)
 		if err := em.Serve(); err != nil {
 			fmt.Fprintf(os.Stderr, "siriusnet: %v\n", err)
@@ -81,6 +138,7 @@ func main() {
 			fmt.Printf(", rejected %d connection(s)", r)
 		}
 		fmt.Println()
+		flushObs()
 		return
 	case "node":
 		st, err := wire.RunNode(wire.NodeConfig{
@@ -90,12 +148,16 @@ func main() {
 			Epochs:       *epochs,
 			PayloadBytes: *payload,
 			Plan:         plan,
+			Telemetry:    reg,
+			Health:       health,
+			Tracer:       tracer,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "siriusnet: node %d: %v\n", *id, err)
 			os.Exit(1)
 		}
 		printNode(*st)
+		flushObs()
 		return
 	case "":
 		// All-in-one below.
@@ -111,6 +173,9 @@ func main() {
 		FlipProb:     *flip,
 		Seed:         *seed,
 		Plan:         plan,
+		Telemetry:    reg,
+		Health:       health,
+		Tracer:       tracer,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "siriusnet: %v\n", err)
@@ -147,6 +212,7 @@ func main() {
 	} else {
 		fmt.Println("post-FEC: NOT error-free")
 	}
+	flushObs()
 }
 
 // loadPlan assembles the fault plan from -faultplan and/or the

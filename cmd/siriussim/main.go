@@ -22,15 +22,25 @@
 //
 // -exp all runs every experiment even if some fail: per-experiment
 // errors go to stderr and the exit status is non-zero iff any failed.
+//
+// Observability: -telemetry-out FILE dumps the process's telemetry
+// registry (every counter, gauge and histogram the simulators
+// accumulated) as a JSON snapshot on exit; -trace-events FILE writes a
+// Chrome trace_event timeline with one span per experiment and one span
+// per sweep point (plus cache-hit instants), loadable in Perfetto;
+// -perfjson FILE writes the per-experiment perf summaries as JSON
+// records (the -perf stderr text is unchanged).
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	rtrace "runtime/trace"
@@ -44,6 +54,7 @@ import (
 	"sirius/internal/exp"
 	"sirius/internal/fluid"
 	"sirius/internal/sweep"
+	"sirius/internal/telemetry"
 )
 
 func main() {
@@ -72,6 +83,10 @@ func run(args []string) int {
 		exectrace   = fs.String("exectrace", "", "write a runtime execution trace to this file")
 		pprofLabels = fs.Bool("pproflabels", false, "label sweep-point goroutines (sweep=<name>, point=<key>) in CPU profiles")
 		perf        = fs.Bool("perf", true, "print a per-experiment wall-time and cells/sec summary to stderr")
+
+		perfJSON = fs.String("perfjson", "", "write the per-experiment perf summaries as JSON to this file")
+		telOut   = fs.String("telemetry-out", "", "write a JSON snapshot of the telemetry registry to this file on exit")
+		traceOut = fs.String("trace-events", "", "write a Chrome trace_event timeline (experiment + sweep-point spans) to this file")
 	)
 	fs.Parse(args)
 
@@ -143,7 +158,12 @@ func run(args []string) int {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	runner := &sweep.Runner{Parallel: *parallel, RootSeed: sc.Seed, PprofLabels: *pprofLabels}
+	var tracer *telemetry.Tracer // nil disables tracing (nil-safe)
+	if *traceOut != "" {
+		tracer = telemetry.NewTracer(0)
+	}
+
+	runner := &sweep.Runner{Parallel: *parallel, RootSeed: sc.Seed, PprofLabels: *pprofLabels, Tracer: tracer}
 	if *progress {
 		runner.Progress = os.Stderr
 	}
@@ -214,6 +234,22 @@ func run(args []string) int {
 		fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
 	}
 
+	// perfRecord mirrors one experiment's perf stderr line for -perfjson.
+	type perfRecord struct {
+		Exp         string  `json:"exp"`
+		WallNS      int64   `json:"wall_ns"`
+		Cells       int64   `json:"cells,omitempty"`
+		Slots       int64   `json:"slots,omitempty"`
+		CellsPerSec float64 `json:"cells_per_sec,omitempty"`
+		Flows       int64   `json:"flows,omitempty"`
+		Events      int64   `json:"events,omitempty"`
+		FlowsPerSec float64 `json:"flows_per_sec,omitempty"`
+		DCFlows     int64   `json:"dc_flows,omitempty"`
+		Racks       int64   `json:"racks,omitempty"`
+		Err         string  `json:"error,omitempty"`
+	}
+	var perfRecords []perfRecord
+
 	// runOne executes one experiment and prints its table immediately, so
 	// an interrupted or partially failing -exp all still emits everything
 	// that completed.
@@ -228,36 +264,53 @@ func run(args []string) int {
 		dcFlows0, racks0 := dc.Counters()
 		t0 := time.Now()
 		tab, err := r()
-		if *perf {
+		tracer.Span(id, "experiment", 0, t0, nil)
+		if *perf || *perfJSON != "" {
 			wall := time.Since(t0)
 			cells, slots := core.Counters()
 			flows, events := fluid.Counters()
 			dcFlows, racks := dc.Counters()
+			rec := perfRecord{Exp: id, WallNS: wall.Nanoseconds()}
+			if err != nil {
+				rec.Err = err.Error()
+			}
 			printed := false
 			if d := cells - cells0; d > 0 && wall > 0 {
-				fmt.Fprintf(os.Stderr, "perf: %-9s %10v wall  %12d cells  %10d slots  %8.2fM cells/s\n",
-					id, wall.Round(time.Millisecond), d, slots-slots0,
-					float64(d)/wall.Seconds()/1e6)
+				rec.Cells, rec.Slots = d, slots-slots0
+				rec.CellsPerSec = float64(d) / wall.Seconds()
+				if *perf {
+					fmt.Fprintf(os.Stderr, "perf: %-9s %10v wall  %12d cells  %10d slots  %8.2fM cells/s\n",
+						id, wall.Round(time.Millisecond), d, slots-slots0,
+						float64(d)/wall.Seconds()/1e6)
+				}
 				printed = true
 			}
 			// Flow-level work (the fluid ESN baselines and the dc
 			// composition's intra-rack tier) is reported in its own
 			// units: flows and solver events per second.
 			if d := flows - flows0; d > 0 && wall > 0 {
-				fmt.Fprintf(os.Stderr, "perf: %-9s %10v wall  %12d flows  %10d events  %8.2fk flows/s\n",
-					id, wall.Round(time.Millisecond), d, events-events0,
-					float64(d)/wall.Seconds()/1e3)
+				rec.Flows, rec.Events = d, events-events0
+				rec.FlowsPerSec = float64(d) / wall.Seconds()
+				if *perf {
+					fmt.Fprintf(os.Stderr, "perf: %-9s %10v wall  %12d flows  %10d events  %8.2fk flows/s\n",
+						id, wall.Round(time.Millisecond), d, events-events0,
+						float64(d)/wall.Seconds()/1e3)
+				}
 				printed = true
 			}
 			if d := dcFlows - dcFlows0; d > 0 && wall > 0 {
-				fmt.Fprintf(os.Stderr, "perf: %-9s %10v wall  %12d dcflows %9d racks  %8.2fk dcflows/s\n",
-					id, wall.Round(time.Millisecond), d, racks-racks0,
-					float64(d)/wall.Seconds()/1e3)
+				rec.DCFlows, rec.Racks = d, racks-racks0
+				if *perf {
+					fmt.Fprintf(os.Stderr, "perf: %-9s %10v wall  %12d dcflows %9d racks  %8.2fk dcflows/s\n",
+						id, wall.Round(time.Millisecond), d, racks-racks0,
+						float64(d)/wall.Seconds()/1e3)
+				}
 				printed = true
 			}
-			if !printed {
+			if !printed && *perf {
 				fmt.Fprintf(os.Stderr, "perf: %-9s %10v wall\n", id, wall.Round(time.Millisecond))
 			}
+			perfRecords = append(perfRecords, rec)
 		}
 		if err != nil {
 			fail(id, err)
@@ -303,6 +356,7 @@ func run(args []string) int {
 			WallNS:     time.Since(started).Nanoseconds(),
 			Parallel:   *parallel,
 			RootSeed:   sc.Seed,
+			Env:        sweep.CaptureEnv(),
 			Sweeps:     runner.Manifests(),
 			Errors:     failures,
 		}
@@ -314,6 +368,24 @@ func run(args []string) int {
 		}
 	}
 
+	// Observability artifacts: best-effort, flushed even on failure so an
+	// interrupted run still leaves its timeline and counters behind.
+	if *perfJSON != "" {
+		if err := writeJSONFile(*perfJSON, perfRecords); err != nil {
+			fmt.Fprintf(os.Stderr, "perfjson: %v\n", err)
+		}
+	}
+	if *telOut != "" {
+		if err := telemetry.Default.Snapshot().WriteJSONFile(*telOut); err != nil {
+			fmt.Fprintf(os.Stderr, "telemetry-out: %v\n", err)
+		}
+	}
+	if tracer != nil {
+		if err := tracer.WriteJSONFile(*traceOut); err != nil {
+			fmt.Fprintf(os.Stderr, "trace-events: %v\n", err)
+		}
+	}
+
 	if len(failures) > 0 {
 		fmt.Fprintf(os.Stderr, "%d experiment(s) failed\n", len(failures))
 		if errors.Is(ctx.Err(), context.Canceled) {
@@ -322,6 +394,32 @@ func run(args []string) int {
 		return 1
 	}
 	return 0
+}
+
+// writeJSONFile writes v as indented JSON to path (temp file + rename),
+// creating parent directories as needed.
+func writeJSONFile(path string, v any) error {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".perf-*")
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(tmp)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
 }
 
 func parseFloats(s string) ([]float64, error) {

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"sirius/internal/sweep"
+	"sirius/internal/telemetry"
 )
 
 func TestParseFloats(t *testing.T) {
@@ -138,5 +139,123 @@ func TestRunFailureStillWritesManifest(t *testing.T) {
 	}
 	if !strings.Contains(string(data), "custom") {
 		t.Errorf("manifest does not record the failure:\n%s", data)
+	}
+}
+
+// TestObservabilityArtifacts runs a sweep experiment with every
+// observability flag set and checks all four artifacts: a
+// schema-valid Chrome trace with experiment and sweep-point spans, a
+// perf JSON summary, a telemetry registry snapshot carrying the core
+// counters, and a manifest with environment and wall-time percentiles.
+func TestObservabilityArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	manifest := filepath.Join(dir, "m.json")
+	traceOut := filepath.Join(dir, "trace.json")
+	perfOut := filepath.Join(dir, "perf.json")
+	telOut := filepath.Join(dir, "telemetry.json")
+	_, code := captureRun(t, "-exp", "fig9", "-scale", "tiny", "-loads", "0.5",
+		"-cache=false", "-manifest", manifest,
+		"-trace-events", traceOut, "-perfjson", perfOut, "-telemetry-out", telOut)
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+
+	// Trace: schema-checked, with the experiment span and the point span.
+	data, err := os.ReadFile(traceOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := telemetry.ValidateTrace(data); err != nil {
+		t.Fatalf("trace schema: %v", err)
+	}
+	var tf struct {
+		TraceEvents []telemetry.TraceEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &tf); err != nil {
+		t.Fatal(err)
+	}
+	var sawExp, sawPoint bool
+	for _, ev := range tf.TraceEvents {
+		switch {
+		case ev.Name == "fig9" && ev.Cat == "experiment":
+			sawExp = true
+		case ev.Name == "point" && ev.Cat == "sweep":
+			sawPoint = true
+		}
+	}
+	if !sawExp || !sawPoint {
+		t.Errorf("trace missing spans: experiment=%v point=%v", sawExp, sawPoint)
+	}
+
+	// Perf JSON: one record for the experiment, with wall time and cells.
+	data, err = os.ReadFile(perfOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []struct {
+		Exp    string `json:"exp"`
+		WallNS int64  `json:"wall_ns"`
+		Cells  int64  `json:"cells"`
+	}
+	if err := json.Unmarshal(data, &recs); err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Exp != "fig9" || recs[0].WallNS <= 0 || recs[0].Cells <= 0 {
+		t.Errorf("perf records = %+v", recs)
+	}
+
+	// Telemetry snapshot: the core simulator flushed its counters.
+	data, err = os.ReadFile(telOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Counters []struct {
+			Name  string `json:"name"`
+			Value int64  `json:"value"`
+		} `json:"counters"`
+	}
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatal(err)
+	}
+	found := map[string]bool{}
+	for _, c := range snap.Counters {
+		if c.Value > 0 {
+			found[c.Name] = true
+		}
+	}
+	for _, want := range []string{
+		"sirius_core_runs_total",
+		"sirius_core_cells_delivered_total",
+		"sirius_sweep_points_total",
+	} {
+		if !found[want] {
+			t.Errorf("telemetry snapshot missing %s > 0", want)
+		}
+	}
+
+	// Manifest: environment and percentile summary present.
+	data, err = os.ReadFile(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m sweep.RunManifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Env == nil || m.Env.GoVersion == "" || m.Env.GOMAXPROCS < 1 {
+		t.Fatalf("manifest env = %+v", m.Env)
+	}
+	if len(m.Sweeps) != 1 || m.Sweeps[0].WallP50NS <= 0 || m.Sweeps[0].WallMaxNS < m.Sweeps[0].WallP50NS {
+		t.Fatalf("manifest percentiles = %+v", m.Sweeps)
+	}
+	var sawStart bool
+	for _, p := range m.Sweeps[0].Points {
+		if p.StartNS >= 0 && p.WallNS > 0 {
+			sawStart = true
+		}
+	}
+	if !sawStart {
+		t.Error("manifest points carry no spans")
 	}
 }

@@ -296,6 +296,17 @@ type sim struct {
 	demandBuf    []int
 	demandCands  []int32 // scratch: nonempty destinations
 	demandCounts []int32 // scratch: their queue lengths
+
+	// Telemetry accumulators: plain (non-atomic) counts bumped on the
+	// hot path and flushed into the telemetry registry once per run
+	// (flushTelemetry). Plain int64 slice writes keep the slot loop
+	// zero-alloc and branch-cheap; the flush is the only place that
+	// touches sync/atomic for these.
+	upTx         []int64 // per uplink: cells transmitted
+	upIdle       []int64 // per uplink: scheduled slots with empty queues
+	grantsIssued int64   // request/grant mode: grants handed out
+	grantsUnused int64   // grants whose LOCAL queue had drained
+	localStalls  int64   // drainPending stalls on the LOCAL cap (guardband)
 }
 
 // Run simulates the given flows to completion and returns the results.
@@ -406,6 +417,8 @@ func newSim(ctx context.Context, cfg Config, flows []workload.Flow) (*sim, error
 	s.fwdq = make([]fifo[int64], n*n)
 	s.txActive = newBitset(n * n)
 	s.queueGauge = make([]metrics.Peak, n)
+	s.upTx = make([]int64, s.uplinks)
+	s.upIdle = make([]int64, s.uplinks)
 	s.demandBuf = make([]int, 0, s.k*(n-1))
 	s.demandCands = make([]int32, 0, n)
 	s.demandCounts = make([]int32, 0, n)
@@ -546,6 +559,7 @@ func (s *sim) run() (*Results, error) {
 	}
 	statCells.Add(s.delivered)
 	statSlots.Add(slot)
+	s.flushTelemetry(slot)
 
 	res := &Results{
 		Flows:            len(s.flows),
@@ -611,9 +625,11 @@ func (s *sim) step(e int, deliverAt simtime.Time) {
 				continue
 			}
 			if !tx.has(base + dst) {
+				s.upIdle[u]++
 				continue // both queues for this peer are empty: idle slot
 			}
 			s.transmit(node, dst, deliverAt)
+			s.upTx[u]++
 			if s.workCells[node] == 0 {
 				break // node drained mid-slot; remaining uplinks are idle
 			}
@@ -655,6 +671,7 @@ func (s *sim) drainPending() {
 		budget := injectRate
 		for budget > 0 && !pq.empty() {
 			if localCap > 0 && s.localCount[node] >= localCap {
+				s.localStalls++
 				break // credit back-pressure: LOCAL is full
 			}
 			f := pq.pop(&s.ar32)
@@ -698,8 +715,10 @@ func (s *sim) epochBoundary() {
 		grants := s.cc.Tick(s.demand)
 		for _, gs := range grants {
 			for _, g := range gs {
+				s.grantsIssued++
 				if s.byDst[g.Src*s.n+g.Dst].empty() {
 					s.cc.OnGrantUnused(g.Via, g.Dst)
+					s.grantsUnused++
 					continue
 				}
 				s.voqPush(g.Src*s.n+g.Via, s.consume(g.Src, g.Dst))

@@ -33,6 +33,7 @@ import (
 	"sirius/internal/phy"
 	"sirius/internal/schedule"
 	"sirius/internal/simtime"
+	"sirius/internal/telemetry"
 	"sirius/internal/workload"
 )
 
@@ -296,6 +297,11 @@ func RunContext(ctx context.Context, cfg Config, flows []workload.Flow) (*Result
 			(window.Seconds() * float64(servers) * float64(cfg.ServerRate))
 	}
 	statFlows.Add(int64(res.Completed))
+	// Telemetry flush, once per composed run (observe-only; the racks'
+	// own fluid runs publish their counters from fluid.finish).
+	reg := telemetry.Default
+	reg.Counter("sirius_dc_runs_total").Inc()
+	reg.Counter("sirius_dc_flows_completed_total").Add(int64(res.Completed))
 	return res, nil
 }
 
@@ -325,6 +331,7 @@ func runRacks(ctx context.Context, cfg Config, intraByRack [][]workload.Flow) ([
 		}
 	}
 	statRackRuns.Add(int64(len(work)))
+	telemetry.Default.Counter("sirius_dc_rack_runs_total").Add(int64(len(work)))
 	out := make([]*fluid.Results, len(intraByRack))
 	workers := cfg.Parallel
 	if workers <= 0 {
@@ -333,6 +340,7 @@ func runRacks(ctx context.Context, cfg Config, intraByRack [][]workload.Flow) ([
 	if workers > len(work) {
 		workers = len(work)
 	}
+	telemetry.Default.Gauge("sirius_dc_rack_workers").SetInt(int64(workers))
 	if workers <= 1 {
 		// Serial path: poll ctx between racks so a cancelled sweep stops
 		// at a rack boundary even when individual racks are tiny.

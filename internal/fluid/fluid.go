@@ -59,6 +59,7 @@ import (
 
 	"sirius/internal/metrics"
 	"sirius/internal/simtime"
+	"sirius/internal/telemetry"
 	"sirius/internal/workload"
 )
 
@@ -156,6 +157,8 @@ type engine struct {
 	ordered []workload.Flow
 	next    int   // arrival cursor into ordered
 	events  int64 // events processed (cancellation-poll cadence)
+	rounds  int64 // bottleneck rounds across every allocate() pass
+	freezes int64 // flow freezes across every allocate() pass
 
 	now        float64 // seconds
 	windowEnd  float64 // last arrival: goodput window end
@@ -569,6 +572,7 @@ func (e *engine) allocate() {
 	heap, pos, members := e.heap, e.pos, e.members
 	unfrozen := nAct
 	for unfrozen > 0 {
+		e.rounds++
 		// Pick the tightest constraint: shares[] caches
 		// caps[c]/float64(counts[c]) — the identical expression the
 		// reference evaluated inline, +Inf for empty constraints. The
@@ -602,6 +606,7 @@ func (e *engine) allocate() {
 			}
 			e.frozen[i] = epoch
 			unfrozen--
+			e.freezes++
 			e.rate[i] = bestShare
 			cs := &e.cons[i]
 			for _, c := range cs {
@@ -639,5 +644,14 @@ func (e *engine) finish() *Results {
 	}
 	statFlows.Add(int64(res.Completed))
 	statEvents.Add(e.events)
+	// Telemetry flush: the event loop only bumps plain int64 fields
+	// (rounds, freezes, events), keeping TestEventLoopZeroAlloc intact;
+	// the registry is touched once per run, here.
+	reg := telemetry.Default
+	reg.Counter("sirius_fluid_runs_total").Inc()
+	reg.Counter("sirius_fluid_events_total").Add(e.events)
+	reg.Counter("sirius_fluid_bottleneck_rounds_total").Add(e.rounds)
+	reg.Counter("sirius_fluid_freezes_total").Add(e.freezes)
+	reg.Counter("sirius_fluid_flows_completed_total").Add(int64(res.Completed))
 	return res
 }

@@ -1,0 +1,25 @@
+//go:build !race
+
+package metrics
+
+import "testing"
+
+// TestResetRefillZeroAlloc pins the Sample.Reset contract: rebuilding a
+// sample of the same size after Reset reuses the backing array and
+// performs no allocation — the property the sweep manifest's percentile
+// computation relies on when it rebuilds its wall-time sample per sweep.
+func TestResetRefillZeroAlloc(t *testing.T) {
+	var s Sample
+	for i := 0; i < 1000; i++ {
+		s.Add(float64(i))
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		s.Reset()
+		for i := 0; i < 1000; i++ {
+			s.Add(float64(i * 2))
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Reset+refill allocated %.1f times per run, want 0", allocs)
+	}
+}

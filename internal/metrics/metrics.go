@@ -31,6 +31,15 @@ func (s *Sample) Reserve(n int) {
 	s.vals = vals
 }
 
+// Reset forgets every observation while keeping the backing array, so a
+// caller that rebuilds a sample per sweep point (or per manifest flush)
+// reuses the same allocation instead of growing a fresh slice each time.
+func (s *Sample) Reset() {
+	s.vals = s.vals[:0]
+	s.sorted = false
+	s.sum = 0
+}
+
 // Add records one observation.
 func (s *Sample) Add(v float64) {
 	s.vals = append(s.vals, v)

@@ -37,6 +37,37 @@ func TestSampleBasics(t *testing.T) {
 	}
 }
 
+func TestSampleReset(t *testing.T) {
+	var s Sample
+	for i := 0; i < 1000; i++ {
+		s.Add(float64(i))
+	}
+	_ = s.Percentile(50) // force the sorted state so Reset must clear it
+	before := cap(s.vals)
+
+	s.Reset()
+	if s.Count() != 0 {
+		t.Fatalf("count after Reset = %d, want 0", s.Count())
+	}
+	if !math.IsNaN(s.Mean()) || !math.IsNaN(s.Min()) || !math.IsNaN(s.Max()) {
+		t.Error("reset sample should answer NaN like an empty one")
+	}
+	if cap(s.vals) != before {
+		t.Errorf("Reset dropped the backing array: cap %d -> %d", before, cap(s.vals))
+	}
+
+	// Refill and verify statistics are those of the new data only.
+	for i := 0; i < 1000; i++ {
+		s.Add(float64(i * 2))
+	}
+	if s.Count() != 1000 || s.Mean() != 999 {
+		t.Errorf("after refill: count=%d mean=%v, want 1000/999", s.Count(), s.Mean())
+	}
+	if got := s.Percentile(50); got != 998 {
+		t.Errorf("p50 after refill = %v, want 998", got)
+	}
+}
+
 func TestPercentileNearestRank(t *testing.T) {
 	var s Sample
 	for i := 1; i <= 100; i++ {

@@ -5,6 +5,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"time"
 )
 
@@ -15,8 +16,13 @@ type PointRecord struct {
 	Seed   uint64 `json:"seed"`
 	Hash   string `json:"hash,omitempty"`
 	Cached bool   `json:"cached,omitempty"`
-	WallNS int64  `json:"wall_ns"`
-	Rows   int    `json:"rows"`
+	// StartNS is the point's execution start relative to the sweep's
+	// start (0 for cache replays): together with WallNS it is the
+	// point's span on the sweep timeline, mirroring the trace_event
+	// span the Runner's Tracer records.
+	StartNS int64 `json:"start_ns,omitempty"`
+	WallNS  int64 `json:"wall_ns"`
+	Rows    int   `json:"rows"`
 	// Err records a failed or skipped (cancelled) point.
 	Err string `json:"error,omitempty"`
 	// CacheErr records a best-effort cache write that failed; the point
@@ -26,13 +32,20 @@ type PointRecord struct {
 
 // SweepManifest summarizes one sweep execution.
 type SweepManifest struct {
-	Name     string        `json:"name"`
-	RootSeed uint64        `json:"root_seed"`
-	Parallel int           `json:"parallel"`
-	CacheHit int           `json:"cache_hits"`
-	WallNS   int64         `json:"wall_ns"`
-	Err      string        `json:"error,omitempty"`
-	Points   []PointRecord `json:"points"`
+	Name     string `json:"name"`
+	RootSeed uint64 `json:"root_seed"`
+	Parallel int    `json:"parallel"`
+	CacheHit int    `json:"cache_hits"`
+	WallNS   int64  `json:"wall_ns"`
+	// WallP50NS/WallP95NS/WallMaxNS are order statistics over the
+	// successful points' execution wall times (cached points report the
+	// wall time of their original execution), so a manifest shows at a
+	// glance whether a sweep's tail is one slow point or the whole grid.
+	WallP50NS int64         `json:"wall_p50_ns,omitempty"`
+	WallP95NS int64         `json:"wall_p95_ns,omitempty"`
+	WallMaxNS int64         `json:"wall_max_ns,omitempty"`
+	Err       string        `json:"error,omitempty"`
+	Points    []PointRecord `json:"points"`
 }
 
 // RunManifest is the machine-readable record of a whole siriussim
@@ -47,8 +60,30 @@ type RunManifest struct {
 	Parallel   int             `json:"parallel"`
 	RootSeed   uint64          `json:"root_seed"`
 	Cache      string          `json:"cache,omitempty"`
+	Env        *RunEnv         `json:"env,omitempty"`
 	Sweeps     []SweepManifest `json:"sweeps"`
 	Errors     []string        `json:"errors,omitempty"`
+}
+
+// RunEnv records the execution environment of a run, so a manifest's
+// wall times can be compared across machines and toolchains.
+type RunEnv struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+}
+
+// CaptureEnv snapshots the current process's execution environment.
+func CaptureEnv() *RunEnv {
+	return &RunEnv{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
 }
 
 // Write encodes the manifest as indented JSON.

@@ -37,7 +37,9 @@ import (
 	"sync"
 	"time"
 
+	"sirius/internal/metrics"
 	"sirius/internal/rng"
+	"sirius/internal/telemetry"
 )
 
 // Point is one independent unit of work in a sweep.
@@ -73,9 +75,15 @@ type Runner struct {
 	// a run can be sliced per experiment and per grid point with
 	// `go tool pprof -tagfocus`.
 	PprofLabels bool
+	// Tracer, when non-nil, records one Chrome trace_event span per
+	// executed point (category "sweep", tid = point index) and an
+	// instant per cache replay, so `siriussim -trace-events` shows the
+	// sweep's parallel schedule in Perfetto.
+	Tracer *telemetry.Tracer
 
 	mu        sync.Mutex
 	manifests []SweepManifest
+	wall      metrics.Sample // reused across sweeps (Reset per Run) for the percentile summary
 }
 
 // Run executes the named sweep and returns each point's rows in point
@@ -147,7 +155,7 @@ func (r *Runner) Run(ctx context.Context, name string, points []Point) ([][][]st
 					finish(i, PointRecord{Index: i, Key: points[i].Key, Err: ctx.Err().Error()}, nil, ctx.Err())
 					continue
 				}
-				rows, rec, err := r.runPoint(ctx, name, i, points[i])
+				rows, rec, err := r.runPoint(ctx, name, i, points[i], start)
 				finish(i, rec, rows, err)
 			}
 		}()
@@ -170,8 +178,28 @@ func (r *Runner) Run(ctx context.Context, name string, points []Point) ([][][]st
 		man.Err = firstErr.Error()
 	}
 	r.mu.Lock()
+	// Per-point wall-time order statistics for the manifest, computed on
+	// a sample whose backing array is reused across sweeps (Reset keeps
+	// the allocation). Cached replays report their original execution
+	// wall time, so the percentiles describe the work, not the replay.
+	r.wall.Reset()
+	for i := range records {
+		if records[i].Err == "" && records[i].WallNS > 0 {
+			r.wall.Add(float64(records[i].WallNS))
+		}
+	}
+	if r.wall.Count() > 0 {
+		man.WallP50NS = int64(r.wall.Percentile(50))
+		man.WallP95NS = int64(r.wall.Percentile(95))
+		man.WallMaxNS = int64(r.wall.Max())
+	}
 	r.manifests = append(r.manifests, man)
 	r.mu.Unlock()
+
+	reg := telemetry.Default
+	reg.Counter("sirius_sweep_runs_total").Inc()
+	reg.Counter("sirius_sweep_points_total").Add(int64(len(points)))
+	reg.Counter("sirius_sweep_cache_hits_total").Add(int64(hits))
 
 	if firstErr != nil {
 		return nil, firstErr
@@ -179,8 +207,10 @@ func (r *Runner) Run(ctx context.Context, name string, points []Point) ([][][]st
 	return results, nil
 }
 
-// runPoint executes (or replays) one point.
-func (r *Runner) runPoint(ctx context.Context, name string, i int, p Point) ([][]string, PointRecord, error) {
+// runPoint executes (or replays) one point. sweepStart anchors the
+// point's manifest span (StartNS is relative to the sweep's first
+// instant, so spans from different parallelism levels line up).
+func (r *Runner) runPoint(ctx context.Context, name string, i int, p Point, sweepStart time.Time) ([][]string, PointRecord, error) {
 	seed := rng.PointSeed(r.RootSeed, uint64(i))
 	id := Identity{Sweep: name, Key: p.Key, Seed: seed}
 	rec := PointRecord{Index: i, Key: p.Key, Seed: seed, Hash: id.Hash()}
@@ -190,10 +220,12 @@ func (r *Runner) runPoint(ctx context.Context, name string, i int, p Point) ([][
 			rec.Cached = true
 			rec.WallNS = wall
 			rec.Rows = len(rows)
+			r.Tracer.Instant("cache-hit", "sweep", i, map[string]string{"sweep": name, "point": p.Key})
 			return rows, rec, nil
 		}
 	}
 	begin := time.Now()
+	rec.StartNS = begin.Sub(sweepStart).Nanoseconds()
 	var rows [][]string
 	var err error
 	if r.PprofLabels {
@@ -204,6 +236,7 @@ func (r *Runner) runPoint(ctx context.Context, name string, i int, p Point) ([][
 		rows, err = p.Run(ctx, seed)
 	}
 	rec.WallNS = time.Since(begin).Nanoseconds()
+	r.Tracer.Span("point", "sweep", i, begin, map[string]string{"sweep": name, "point": p.Key})
 	if err != nil {
 		rec.Err = err.Error()
 		return nil, rec, err

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"sirius/internal/rng"
+	"sirius/internal/telemetry"
 )
 
 // fakePoints builds n points whose rows are a deterministic function of
@@ -239,5 +240,77 @@ func TestManifestWriteFile(t *testing.T) {
 		if !strings.Contains(string(data), want) {
 			t.Errorf("manifest missing %q", want)
 		}
+	}
+}
+
+// TestSpansAndPercentiles covers the observability plumbing: per-point
+// spans land in an attached Tracer (and cache replays as instants), the
+// manifest carries point start offsets and wall-time percentiles, and
+// CaptureEnv describes the running toolchain.
+func TestSpansAndPercentiles(t *testing.T) {
+	tr := telemetry.NewTracer(1 << 10)
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &Runner{Parallel: 2, RootSeed: 9, Cache: cache, Tracer: tr}
+	pts := fakePoints(5, time.Millisecond)
+	if _, err := r.Run(context.Background(), "spans", pts); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(context.Background(), "spans", pts); err != nil { // all cached
+		t.Fatal(err)
+	}
+
+	var spans, hits int
+	for _, ev := range tr.Events() {
+		switch ev.Name {
+		case "point":
+			spans++
+			if ev.Args["sweep"] != "spans" || ev.Args["point"] == "" {
+				t.Errorf("span args = %v", ev.Args)
+			}
+		case "cache-hit":
+			hits++
+		}
+	}
+	if spans != len(pts) || hits != len(pts) {
+		t.Errorf("spans = %d, cache hits = %d, want %d each", spans, hits, len(pts))
+	}
+
+	mans := r.Manifests()
+	if len(mans) != 2 {
+		t.Fatalf("manifests = %d, want 2", len(mans))
+	}
+	for runIdx, man := range mans {
+		if man.WallP50NS <= 0 || man.WallP95NS < man.WallP50NS || man.WallMaxNS < man.WallP95NS {
+			t.Errorf("run %d: percentiles p50=%d p95=%d max=%d out of order",
+				runIdx, man.WallP50NS, man.WallP95NS, man.WallMaxNS)
+		}
+	}
+	// First run executed: every point carries a span (StartNS set for all
+	// but possibly the very first, which can legitimately be offset 0).
+	var sawStart bool
+	for _, p := range mans[0].Points {
+		if p.StartNS > 0 {
+			sawStart = true
+		}
+		if p.WallNS <= 0 {
+			t.Errorf("point %d: wall %d", p.Index, p.WallNS)
+		}
+	}
+	if !sawStart {
+		t.Error("no point recorded a positive start offset")
+	}
+	// Second run replayed: cached points keep the original wall time.
+	for _, p := range mans[1].Points {
+		if !p.Cached {
+			t.Errorf("point %d not cached on re-run", p.Index)
+		}
+	}
+
+	env := CaptureEnv()
+	if env.GoVersion == "" || env.GOOS == "" || env.GOARCH == "" || env.GOMAXPROCS < 1 {
+		t.Errorf("CaptureEnv incomplete: %+v", env)
 	}
 }

@@ -1,0 +1,179 @@
+package telemetry
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestHammerCountersAndSnapshots runs GOMAXPROCS writer goroutines
+// against concurrent snapshot readers. Under -race this is the data
+// race oracle; the final sum check is the correctness oracle (no lost
+// updates).
+func TestHammerCountersAndSnapshots(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hammer_total")
+	g := r.Gauge("hammer_gauge")
+	h := r.Histogram("hammer_hist")
+
+	writers := runtime.GOMAXPROCS(0)
+	if writers < 2 {
+		writers = 2
+	}
+	const perWriter = 20000
+
+	var stop atomic.Bool
+	var snaps sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		snaps.Add(1)
+		go func() {
+			defer snaps.Done()
+			for !stop.Load() {
+				s := r.Snapshot()
+				// Monotone sanity: a snapshot may lag concurrent
+				// writes but can never exceed the final total.
+				if v := s.Counter("hammer_total", ""); v < 0 || v > int64(writers*perWriter) {
+					t.Errorf("snapshot counter out of range: %d", v)
+					return
+				}
+			}
+		}()
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sh := c.Shard()
+			hs := h.Shard()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < perWriter; i++ {
+				sh.Inc()
+				hs.Observe(rng.Float64() * 4)
+				g.Set(float64(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	stop.Store(true)
+	snaps.Wait()
+
+	want := int64(writers * perWriter)
+	if got := c.Value(); got != want {
+		t.Fatalf("lost updates: counter = %d, want %d", got, want)
+	}
+	s := r.Snapshot()
+	var hp *HistogramPoint
+	for i := range s.Histograms {
+		if s.Histograms[i].Name == "hammer_hist" {
+			hp = &s.Histograms[i]
+		}
+	}
+	if hp == nil || hp.Count != want {
+		t.Fatalf("histogram count = %+v, want %d", hp, want)
+	}
+}
+
+// TestMergeEqualsSerialReference is the property test: splitting a
+// deterministic op stream across W per-worker registries and merging
+// their snapshots must equal applying the same stream to a single
+// registry serially — for counters, histogram buckets, counts and sums.
+func TestMergeEqualsSerialReference(t *testing.T) {
+	const ops = 50000
+	const workers = 7
+	rng := rand.New(rand.NewSource(99))
+
+	serial := NewRegistry()
+	parts := make([]*Registry, workers)
+	for i := range parts {
+		parts[i] = NewRegistry()
+	}
+	get := func(r *Registry, kind, which int) {
+		switch kind {
+		case 0:
+			r.Counter("p_total", "k", string(rune('a'+which))).Add(int64(which + 1))
+		case 1:
+			r.Histogram("p_hist").Observe(float64(int(1) << (which * 3))) // exact powers: fp-sum exact
+		default:
+			r.Histogram("p_hist", "k", string(rune('a'+which))).Observe(float64(which))
+		}
+	}
+	for i := 0; i < ops; i++ {
+		kind := rng.Intn(3)
+		which := rng.Intn(5)
+		w := rng.Intn(workers)
+		get(serial, kind, which)
+		get(parts[w], kind, which)
+	}
+
+	merged := parts[0].Snapshot()
+	for _, p := range parts[1:] {
+		merged.Merge(p.Snapshot())
+	}
+	ref := serial.Snapshot()
+
+	if len(merged.Counters) != len(ref.Counters) {
+		t.Fatalf("counter series: merged %d, serial %d", len(merged.Counters), len(ref.Counters))
+	}
+	for i := range ref.Counters {
+		a, b := merged.Counters[i], ref.Counters[i]
+		if a.Name != b.Name || a.Labels != b.Labels || a.Value != b.Value {
+			t.Fatalf("counter %d: merged %+v, serial %+v", i, a, b)
+		}
+	}
+	if len(merged.Histograms) != len(ref.Histograms) {
+		t.Fatalf("histogram series: merged %d, serial %d", len(merged.Histograms), len(ref.Histograms))
+	}
+	for i := range ref.Histograms {
+		a, b := merged.Histograms[i], ref.Histograms[i]
+		if a.Name != b.Name || a.Labels != b.Labels || a.Count != b.Count {
+			t.Fatalf("histogram %d: merged %+v, serial %+v", i, a, b)
+		}
+		for bkt := range b.Buckets {
+			if a.Buckets[bkt] != b.Buckets[bkt] {
+				t.Fatalf("histogram %s bucket %d: merged %d, serial %d", a.Name, bkt, a.Buckets[bkt], b.Buckets[bkt])
+			}
+		}
+		if a.Sum != b.Sum { // exact: all observed values are small integers / powers of two
+			t.Fatalf("histogram %s sum: merged %g, serial %g", a.Name, a.Sum, b.Sum)
+		}
+	}
+}
+
+// TestHealthHammer races condition setters/clearers against Status
+// readers; -race is the oracle.
+func TestHealthHammer(t *testing.T) {
+	h := NewHealth(64)
+	var writers sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			key := string(rune('a' + w))
+			for i := 0; i < 5000; i++ {
+				h.SetCondition(key, "busy")
+				_ = h.Healthy()
+				h.ClearCondition(key)
+			}
+		}(w)
+	}
+	var stop atomic.Bool
+	var reader sync.WaitGroup
+	reader.Add(1)
+	go func() {
+		defer reader.Done()
+		for !stop.Load() {
+			_ = h.Status()
+			_ = h.SawFlap()
+		}
+	}()
+	writers.Wait()
+	stop.Store(true)
+	reader.Wait()
+	if !h.Healthy() {
+		t.Fatal("conditions left set after hammer")
+	}
+}

@@ -1,0 +1,159 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Health tracks fabric health as a set of named degraded conditions:
+// the system is healthy iff no condition is set. Components set a
+// condition when they enter a degraded state (link down, peer
+// suspected, port failed) and clear it on recovery, so /healthz flips
+// healthy -> degraded -> healthy across a fault-and-reconnect cycle.
+// A bounded transition history records every flip for post-hoc
+// inspection and tests.
+//
+// All methods are nil-safe no-ops on a nil *Health, so instrumented
+// code never branches on "is health tracking enabled".
+type Health struct {
+	mu         sync.Mutex
+	conditions map[string]string // key -> human reason
+	history    []Transition
+	maxHistory int
+}
+
+// Transition is one healthy/degraded flip in the history.
+type Transition struct {
+	At       time.Time `json:"at"`
+	Healthy  bool      `json:"healthy"`
+	Key      string    `json:"key"`    // condition that caused the flip
+	Reason   string    `json:"reason"` // its reason ("" on clear)
+	Degraded int       `json:"degraded_conditions"`
+}
+
+// NewHealth returns a Health tracker keeping at most maxHistory
+// transitions (<= 0 defaults to 256).
+func NewHealth(maxHistory int) *Health {
+	if maxHistory <= 0 {
+		maxHistory = 256
+	}
+	return &Health{conditions: make(map[string]string), maxHistory: maxHistory}
+}
+
+func (h *Health) record(healthy bool, key, reason string) {
+	t := Transition{At: time.Now(), Healthy: healthy, Key: key, Reason: reason, Degraded: len(h.conditions)}
+	if len(h.history) >= h.maxHistory {
+		copy(h.history, h.history[1:])
+		h.history[len(h.history)-1] = t
+	} else {
+		h.history = append(h.history, t)
+	}
+}
+
+// SetCondition marks condition key degraded with a human-readable
+// reason. Setting an already-set key updates the reason without
+// recording a transition.
+func (h *Health) SetCondition(key, reason string) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	_, existed := h.conditions[key]
+	wasHealthy := len(h.conditions) == 0
+	h.conditions[key] = reason
+	if !existed && wasHealthy {
+		h.record(false, key, reason)
+	}
+}
+
+// ClearCondition clears condition key. Clearing the last condition
+// records a transition back to healthy.
+func (h *Health) ClearCondition(key string) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.conditions[key]; !ok {
+		return
+	}
+	delete(h.conditions, key)
+	if len(h.conditions) == 0 {
+		h.record(true, key, "")
+	}
+}
+
+// Healthy reports whether no degraded condition is set.
+func (h *Health) Healthy() bool {
+	if h == nil {
+		return true
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.conditions) == 0
+}
+
+// Condition is one currently-set degraded condition.
+type Condition struct {
+	Key    string `json:"key"`
+	Reason string `json:"reason"`
+}
+
+// Status is the serializable health state served by /healthz.
+type Status struct {
+	Status      string       `json:"status"` // "healthy" | "degraded"
+	Conditions  []Condition  `json:"conditions,omitempty"`
+	Transitions []Transition `json:"transitions,omitempty"`
+}
+
+// Status returns the current status with conditions sorted by key and
+// the transition history oldest-first.
+func (h *Health) Status() Status {
+	if h == nil {
+		return Status{Status: "healthy"}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st := Status{Status: "healthy"}
+	if len(h.conditions) > 0 {
+		st.Status = "degraded"
+		for k, v := range h.conditions {
+			st.Conditions = append(st.Conditions, Condition{k, v})
+		}
+		sort.Slice(st.Conditions, func(i, j int) bool { return st.Conditions[i].Key < st.Conditions[j].Key })
+	}
+	st.Transitions = append(st.Transitions, h.history...)
+	return st
+}
+
+// History returns the transition history oldest-first.
+func (h *Health) History() []Transition {
+	if h == nil {
+		return nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]Transition(nil), h.history...)
+}
+
+// SawFlap reports whether the history contains, in order, a flip to
+// degraded followed by a flip back to healthy — the signature of a
+// fault that was detected and then recovered from.
+func (h *Health) SawFlap() bool {
+	if h == nil {
+		return false
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	sawDegraded := false
+	for _, t := range h.history {
+		if !t.Healthy {
+			sawDegraded = true
+		} else if sawDegraded {
+			return true
+		}
+	}
+	return false
+}

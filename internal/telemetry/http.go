@@ -1,0 +1,72 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Server is the live telemetry HTTP plane: /metrics (Prometheus text
+// exposition of a Registry snapshot), /healthz (200 healthy / 503
+// degraded, JSON body with conditions and transition history) and
+// /debug/vars (expvar).
+type Server struct {
+	reg    *Registry
+	health *Health
+	ln     net.Listener
+	srv    *http.Server
+}
+
+// NewServer starts serving on addr (e.g. ":9090" or "127.0.0.1:0").
+// A nil reg falls back to Default; a nil health serves always-healthy.
+// The server runs until Close.
+func NewServer(addr string, reg *Registry, health *Health) (*Server, error) {
+	if reg == nil {
+		reg = Default
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{reg: reg, health: health, ln: ln}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprintf(w, "sirius telemetry\n\n/metrics\n/healthz\n/debug/vars\n")
+	})
+	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go s.srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the server down.
+func (s *Server) Close() error { return s.srv.Close() }
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	snap := s.reg.Snapshot()
+	_ = snap.WritePrometheus(w)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	st := s.health.Status()
+	w.Header().Set("Content-Type", "application/json")
+	if st.Status != "healthy" {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(st)
+}

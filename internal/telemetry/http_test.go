@@ -1,0 +1,79 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestHTTPServer(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("http_cells_total").Add(5)
+	h := NewHealth(16)
+	srv, err := NewServer("127.0.0.1:0", r, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("read %s: %v", path, err)
+		}
+		return resp.StatusCode, string(b)
+	}
+
+	// /metrics serves Prometheus text.
+	code, body := get("/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if !strings.Contains(body, "http_cells_total 5") {
+		t.Fatalf("/metrics missing series:\n%s", body)
+	}
+
+	// /healthz: 200 while healthy, 503 while degraded, 200 again.
+	code, body = get("/healthz")
+	if code != 200 || !strings.Contains(body, `"healthy"`) {
+		t.Fatalf("healthy /healthz: %d %s", code, body)
+	}
+	h.SetCondition("node0/link", "reconnecting")
+	code, body = get("/healthz")
+	if code != 503 || !strings.Contains(body, `"degraded"`) || !strings.Contains(body, "node0/link") {
+		t.Fatalf("degraded /healthz: %d %s", code, body)
+	}
+	h.ClearCondition("node0/link")
+	code, body = get("/healthz")
+	if code != 200 {
+		t.Fatalf("recovered /healthz: %d %s", code, body)
+	}
+	var st Status
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("healthz JSON: %v", err)
+	}
+	if len(st.Transitions) != 2 {
+		t.Fatalf("healthz transitions %+v", st.Transitions)
+	}
+
+	// /debug/vars is live expvar JSON.
+	code, body = get("/debug/vars")
+	if code != 200 || !strings.Contains(body, "cmdline") {
+		t.Fatalf("/debug/vars: %d", code)
+	}
+
+	// Unknown paths 404.
+	code, _ = get("/nope")
+	if code != 404 {
+		t.Fatalf("/nope status %d", code)
+	}
+}

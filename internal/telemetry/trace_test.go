@@ -1,0 +1,73 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// checkTraceJSON decodes Chrome trace-event JSON and validates the
+// schema subset we emit: top-level traceEvents array; every event has
+// a name, a known phase, non-negative ts, and ph=="X" events carry a
+// positive dur. Shared with the cmd/siriussim schema test via the
+// exported ValidateTrace.
+func TestTraceEventSchema(t *testing.T) {
+	tr := NewTracer(16)
+	begin := time.Now()
+	time.Sleep(time.Millisecond)
+	tr.Complete("epoch", "core", 1, begin, 2*time.Millisecond, map[string]string{"n": "64"})
+	tr.Instant("kill", "fault", 2, nil)
+	tr.Span("point", "sweep", 3, begin, nil)
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateTrace(buf.Bytes()); err != nil {
+		t.Fatalf("schema: %v\n%s", err, buf.String())
+	}
+	var tf struct {
+		TraceEvents []TraceEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatal(err)
+	}
+	if len(tf.TraceEvents) != 3 {
+		t.Fatalf("%d events, want 3", len(tf.TraceEvents))
+	}
+	if tf.TraceEvents[0].Args["n"] != "64" {
+		t.Fatalf("args lost: %+v", tf.TraceEvents[0])
+	}
+}
+
+func TestTracerDropOldest(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		tr.Instant("ev", "t", i, nil)
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("%d buffered, want 4", len(evs))
+	}
+	// Oldest-first: surviving events are tids 6..9.
+	for i, ev := range evs {
+		if ev.TID != 6+i {
+			t.Fatalf("event %d has tid %d, want %d (drop-oldest order)", i, ev.TID, 6+i)
+		}
+	}
+	if tr.Dropped() != 6 {
+		t.Fatalf("Dropped = %d, want 6", tr.Dropped())
+	}
+}
+
+func TestTracerEmptyIsValid(t *testing.T) {
+	tr := NewTracer(4)
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateTrace(buf.Bytes()); err != nil {
+		t.Fatalf("empty trace invalid: %v", err)
+	}
+}

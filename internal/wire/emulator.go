@@ -86,6 +86,12 @@ type Emulator struct {
 	greyDropped atomic.Int64 // frames blackholed by Grey fault events
 	rejected    atomic.Int64 // connections refused at handshake
 
+	// tel mirrors the counters above into a telemetry registry (the
+	// process Default unless Instrument overrode it) and optionally
+	// flips health conditions while a registered port's connection is
+	// broken but expected back. Set before Serve, read-only after.
+	tel *emuTel
+
 	wg sync.WaitGroup
 }
 
@@ -132,6 +138,7 @@ func NewEmulatorFault(addr string, ports int, flipProb float64, seed uint64, pla
 	for p := 0; p < ports; p++ {
 		e.rngs[p] = rng.New(rng.PointSeed(seed, uint64(p)))
 	}
+	e.tel = newEmuTel(nil, nil, ports)
 	return e, nil
 }
 
@@ -213,6 +220,7 @@ func (e *Emulator) admit(conn net.Conn) {
 	var h [hsLen]byte
 	if _, err := io.ReadFull(conn, h[:]); err != nil {
 		e.rejected.Add(1)
+		e.tel.rejected.Inc()
 		e.recordErr(&PortError{Port: -1, Op: "handshake", Err: err})
 		conn.Close()
 		return
@@ -246,6 +254,8 @@ func (e *Emulator) admit(conn net.Conn) {
 	queued := e.parked[port]
 	e.parked[port] = nil
 	e.mu.Unlock()
+	e.tel.registered.Inc()
+	e.tel.health.ClearCondition(emuPortKey(port))
 
 	if _, err := conn.Write([]byte{HsOK, uint8(port)}); err != nil {
 		e.writeFailed(port, gen, err, nil)
@@ -272,6 +282,7 @@ func (e *Emulator) admit(conn net.Conn) {
 // reject answers a refused connection with its status and closes it.
 func (e *Emulator) reject(conn net.Conn, port int, status uint8, err error) {
 	e.rejected.Add(1)
+	e.tel.rejected.Inc()
 	e.recordErr(&PortError{Port: port, Op: "handshake", Err: err})
 	conn.SetWriteDeadline(time.Now().Add(handshakeTimeout))
 	conn.Write([]byte{status, 0})
@@ -298,6 +309,7 @@ func (e *Emulator) routeFrom(port, gen int, conn net.Conn) {
 			e.inputDone(port, gen, conn, err)
 			return
 		}
+		e.tel.portFrames[port].Inc()
 		epoch := cellEpoch(cellBytes)
 		if d := e.plan.StallDelay(port, epoch); d > 0 {
 			time.Sleep(d)
@@ -305,6 +317,7 @@ func (e *Emulator) routeFrom(port, gen int, conn net.Conn) {
 		out := (port + int(w)) % e.ports
 		if e.plan.GreyDrop(port, out, epoch) {
 			e.greyDropped.Add(1)
+			e.tel.greyDropped.Inc()
 			continue
 		}
 		if p := e.plan.FlipProb(port, epoch, e.flipProb); p > 0 && len(cellBytes) > cell.HeaderLen {
@@ -316,12 +329,16 @@ func (e *Emulator) routeFrom(port, gen int, conn net.Conn) {
 			flips := corruptPayload(cellBytes[cell.HeaderLen:], p, e.rngs[port])
 			e.rmu[port].Unlock()
 			e.bitsFlipped.Add(flips)
+			if flips > 0 {
+				e.tel.bitsFlipped.Add(flips)
+			}
 		}
 		frame = frame[:frameHeader]
 		binary.BigEndian.PutUint32(frame[:4], uint32(len(cellBytes)))
 		frame[4] = w
 		frame = append(frame, cellBytes...)
 		e.routed.Add(1)
+		e.tel.routed.Inc()
 		e.deliver(out, frame)
 	}
 }
@@ -352,9 +369,11 @@ func (e *Emulator) deliver(out int, frame []byte) {
 func (e *Emulator) parkOrDropLocked(out int, frame []byte) {
 	if e.mayReconnectLocked(out) && len(e.parked[out]) < parkLimit {
 		e.parked[out] = append(e.parked[out], append([]byte(nil), frame...))
+		e.tel.parked.Inc()
 		return
 	}
 	e.dropped.Add(1)
+	e.tel.dropped.Inc()
 }
 
 // mayReconnectLocked reports whether the port is expected to (re)appear:
@@ -376,6 +395,10 @@ func (e *Emulator) writeFailed(port, gen int, err error, frame []byte) {
 		e.conns[port].Close()
 		e.conns[port] = nil
 		e.portErrs = append(e.portErrs, &PortError{Port: port, Op: "write", Err: err})
+		if e.mayReconnectLocked(port) {
+			// Expected back: the fabric is degraded until it returns.
+			e.tel.health.SetCondition(emuPortKey(port), "write failed; awaiting re-registration")
+		}
 	}
 	if frame != nil {
 		e.parkOrDropLocked(port, frame)
@@ -404,10 +427,16 @@ func (e *Emulator) inputDone(port, gen int, conn net.Conn, err error) {
 		}
 	}
 	if e.mayReconnectLocked(port) && !e.closed {
+		if err != io.EOF && err != io.ErrUnexpectedEOF {
+			e.tel.health.SetCondition(emuPortKey(port), "read failed; awaiting re-registration")
+		}
 		e.mu.Unlock()
 		return // not the port's last word: await re-registration
 	}
 	e.eofFinal[port] = true
+	// The port's final word: whatever happened to it is no longer a
+	// degraded condition but the fabric's new (compacted) shape.
+	e.tel.health.ClearCondition(emuPortKey(port))
 	complete := !e.completing && e.fabricDoneLocked()
 	if complete {
 		e.completing = true

@@ -15,6 +15,7 @@ import (
 	"sirius/internal/phy"
 	"sirius/internal/rng"
 	"sirius/internal/schedule"
+	"sirius/internal/telemetry"
 )
 
 // Defaults for NodeConfig's zero values.
@@ -68,6 +69,20 @@ type NodeConfig struct {
 	// TrackEpochs records per-epoch received-cell counts in
 	// NodeStats.RxPerEpoch (for goodput-over-time analysis).
 	TrackEpochs bool
+
+	// Telemetry receives this node's runtime counters (cells sent /
+	// received / misrouted, bit errors, reconnects, suspicions,
+	// schedule switches). Nil uses the process-wide telemetry.Default.
+	Telemetry *telemetry.Registry
+
+	// Health, when non-nil, tracks degraded conditions: a broken link
+	// while reconnecting, and each suspected peer until the fabric-wide
+	// schedule switch resolves it.
+	Health *telemetry.Health
+
+	// Tracer, when non-nil, records per-epoch spans and instants
+	// (crash, suspicion, switch) for Chrome trace-event timelines.
+	Tracer *telemetry.Tracer
 }
 
 // PeerFailure records one peer's detected failure as this node saw it:
@@ -139,6 +154,7 @@ type node struct {
 
 	progress atomic.Int64 // bumped on any rx frame / tx epoch / reconnect
 	stats    NodeStats
+	tel      nodeTel
 }
 
 // RunNode runs one node of the prototype fabric to completion and returns
@@ -199,6 +215,7 @@ func RunNode(cfg NodeConfig) (*NodeStats, error) {
 		stats:       NodeStats{Node: cfg.ID},
 	}
 	n.cond = sync.NewCond(&n.mu)
+	n.tel = newNodeTel(cfg)
 	for i := range n.heard {
 		n.heard[i] = -1
 		n.switchEpoch[i] = -1
@@ -343,6 +360,7 @@ func (n *node) relink(failedGen int) error {
 		n.conn = nil
 	}
 	n.mu.Unlock()
+	n.tel.health.SetCondition(n.tel.linkKey(), "link down; reconnecting")
 	defer func() {
 		n.mu.Lock()
 		n.relinking = false
@@ -365,6 +383,9 @@ func (n *node) relink(failedGen int) error {
 			n.progress.Add(1)
 			n.cond.Broadcast()
 			n.mu.Unlock()
+			n.tel.reconnects.Inc()
+			n.tel.health.ClearCondition(n.tel.linkKey())
+			n.tel.tracer.Instant("reconnect", "wire.node", n.cfg.ID, nil)
 			return nil
 		}
 		lastErr = err
@@ -406,6 +427,7 @@ func (n *node) txLoop() error {
 		if g == crashAt {
 			// Fail-stop: die mid-fabric with no farewell. The peers must
 			// notice from silence alone.
+			n.tel.tracer.Instant("crash", "wire.node", n.cfg.ID, nil)
 			n.mu.Lock()
 			n.stats.Crashed = true
 			n.txDone = true
@@ -431,6 +453,7 @@ func (n *node) txLoop() error {
 			bw = bufio.NewWriterSize(conn, 64<<10)
 		}
 
+		epochStart := time.Now()
 		ejected, err := n.gate(g)
 		if err != nil {
 			return err
@@ -438,6 +461,7 @@ func (n *node) txLoop() error {
 		if ejected {
 			break // the fabric has compacted us out; stop transmitting
 		}
+		n.tel.epoch.SetInt(int64(g))
 
 		if err := n.sendEpoch(g, bw, conn, prbs, payload, &encodeBuf); err != nil {
 			// One broken pipe does not end the run: re-register and move
@@ -449,6 +473,7 @@ func (n *node) txLoop() error {
 			conn, gen = n.currentConn()
 			bw = bufio.NewWriterSize(conn, 64<<10)
 		}
+		n.tel.tracer.Span("epoch", "wire.node", n.cfg.ID, epochStart, nil)
 		n.progress.Add(1)
 	}
 
@@ -505,6 +530,7 @@ func (n *node) sendEpoch(g int, bw *bufio.Writer, conn net.Conn,
 		n.mu.Lock()
 		n.stats.Sent++
 		n.mu.Unlock()
+		n.tel.sent.Inc()
 	}
 	return bw.Flush()
 }
@@ -572,7 +598,7 @@ func (n *node) gate(g int) (ejected bool, err error) {
 						"wire: node %d: own transmissions not returning (link dead beyond epoch %d)",
 						n.cfg.ID, n.heard[p])
 				}
-				n.recordSuspicionLocked(p, g, g+2)
+				n.recordSuspicionLocked(p, g, g+2, false)
 			}
 			return false, nil
 		}
@@ -598,11 +624,24 @@ func (n *node) laggingLocked(g int) []int {
 // recordSuspicionLocked registers a (possibly adopted) suspicion of peer
 // p with the given suspect epoch and agreed switch epoch. If the peer was
 // already suspected with a later switch epoch, the earlier one wins, so
-// concurrent independent detections converge on the minimum. Called with
-// n.mu held.
-func (n *node) recordSuspicionLocked(p, suspectEpoch, sw int) {
+// concurrent independent detections converge on the minimum. adopted
+// distinguishes suspicions learned from a flooded cell from those this
+// node raised by judging silence itself. Called with n.mu held.
+func (n *node) recordSuspicionLocked(p, suspectEpoch, sw int, adopted bool) {
 	if n.suspected[p] && n.switchEpoch[p] <= sw {
 		return
+	}
+	if !n.suspected[p] {
+		// First time this node suspects p: count it, flag the fabric
+		// degraded until the schedule switch resolves the failure, and
+		// drop a timeline marker.
+		if adopted {
+			n.tel.suspAdopted.Inc()
+		} else {
+			n.tel.suspRaised.Inc()
+		}
+		n.tel.health.SetCondition(n.tel.peerKey(p), "peer suspected failed")
+		n.tel.tracer.Instant("suspect", "wire.node", n.cfg.ID, nil)
 	}
 	n.suspected[p] = true
 	n.switchEpoch[p] = sw
@@ -627,11 +666,16 @@ func (n *node) applySwitchesLocked(g int) (ejected bool, err error) {
 		if n.suspected[p] && !n.applied[p] && n.switchEpoch[p] <= g {
 			n.applied[p] = true
 			changed = true
+			// The switch resolves the suspicion: the fabric has agreed
+			// on the failure and routes around it from here on.
+			n.tel.health.ClearCondition(n.tel.peerKey(p))
 		}
 	}
 	if !changed {
 		return false, nil
 	}
+	n.tel.switches.Inc()
+	n.tel.tracer.Instant("schedule-switch", "wire.node", n.cfg.ID, nil)
 	var failed []int
 	for p := 0; p < n.cfg.Nodes; p++ {
 		if n.applied[p] {
@@ -640,6 +684,7 @@ func (n *node) applySwitchesLocked(g int) (ejected bool, err error) {
 	}
 	if n.applied[n.cfg.ID] {
 		n.stats.Ejected = true
+		n.tel.ejected.Inc()
 		return true, nil
 	}
 	base, err := schedule.NewGrouped(n.cfg.Nodes, n.cfg.Nodes, 1)
@@ -758,20 +803,27 @@ func (n *node) handleCell(raw []byte, prbs *phy.PRBS) {
 	if p, sw, ok := c.Suspicion(); ok && p >= 0 && p < n.cfg.Nodes {
 		// Adopt the flooded suspicion: the originator judged at sw-2 and
 		// the flood makes it fabric-wide knowledge by sw-1.
-		n.recordSuspicionLocked(p, sw-2, sw)
+		n.recordSuspicionLocked(p, sw-2, sw, true)
 	}
 	if c.Kind != cell.KindData {
 		return
 	}
 	n.stats.Received++
+	n.tel.received.Inc()
 	if n.stats.RxPerEpoch != nil && ep >= 0 && ep < len(n.stats.RxPerEpoch) {
 		n.stats.RxPerEpoch[ep]++
 	}
 	if int(c.Dst) != n.cfg.ID {
 		n.stats.Misrouted++
+		n.tel.misrouted.Inc()
 		return
 	}
 	prbs.Reset(prbsSeed(c.Src, c.Dst, c.Seq))
-	n.stats.BitErrors += int64(prbs.CountErrors(c.Payload))
+	errs := int64(prbs.CountErrors(c.Payload))
+	n.stats.BitErrors += errs
 	n.stats.Bits += int64(len(c.Payload)) * 8
+	if errs > 0 {
+		n.tel.bitErrs.Add(errs)
+	}
+	n.tel.bits.Add(int64(len(c.Payload)) * 8)
 }

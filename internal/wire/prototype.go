@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"sirius/internal/fault"
+	"sirius/internal/telemetry"
 )
 
 // Stats aggregates a whole prototype run. When a fault plan crashed or
@@ -44,6 +45,14 @@ type PrototypeConfig struct {
 	// TrackEpochs records per-epoch reception for goodput analysis; it is
 	// enabled automatically when a plan is present.
 	TrackEpochs bool
+
+	// Telemetry, Health and Tracer are forwarded to every node and the
+	// emulator, so a live fabric exposes per-node counters, degraded
+	// conditions and per-epoch spans. Nil Telemetry uses the process
+	// Default; nil Health/Tracer disable those planes.
+	Telemetry *telemetry.Registry
+	Health    *telemetry.Health
+	Tracer    *telemetry.Tracer
 }
 
 // FaultStats extends Stats with the §4.5 failure-handling observables of
@@ -120,6 +129,9 @@ func RunPrototypeCfg(cfg PrototypeConfig) (*FaultStats, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Telemetry != nil || cfg.Health != nil {
+		em.Instrument(cfg.Telemetry, cfg.Health)
+	}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- em.Serve() }()
 
@@ -141,6 +153,9 @@ func RunPrototypeCfg(cfg PrototypeConfig) (*FaultStats, error) {
 				MissThreshold:  cfg.MissThreshold,
 				Plan:           cfg.Plan,
 				TrackEpochs:    track,
+				Telemetry:      cfg.Telemetry,
+				Health:         cfg.Health,
+				Tracer:         cfg.Tracer,
 			})
 		}(id)
 	}

@@ -1,0 +1,11 @@
+//go:build race
+
+package wire
+
+// raceEnabled reports whether the race detector is compiled in. The
+// fault tests scale their failure-detection timeouts by it: race
+// instrumentation slows the wire hot path enough that the victim's
+// final-epoch frames can miss a 250ms gate deadline on a small machine,
+// shifting the whole suspicion arc one epoch early. The assertions are
+// epoch-indexed, so a larger timeout changes nothing but wall time.
+const raceEnabled = true

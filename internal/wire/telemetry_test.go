@@ -1,0 +1,159 @@
+package wire
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"sirius/internal/fault"
+	"sirius/internal/telemetry"
+)
+
+// TestLiveTelemetry is the acceptance test for the live observability
+// plane: a 4-node fabric with a scripted kill runs with a dedicated
+// registry, health tracker and tracer, served over HTTP. The health
+// state must flip healthy -> degraded (while the victim is suspected)
+// -> healthy (once the fabric compacts), /metrics must expose the
+// suspicion and per-port counters, and the tracer must hold valid
+// per-epoch spans.
+func TestLiveTelemetry(t *testing.T) {
+	const nodes, epochs, victim, killAt = 4, 30, 2, 8
+
+	reg := telemetry.NewRegistry()
+	h := telemetry.NewHealth(64)
+	tr := telemetry.NewTracer(1 << 12)
+	srv, err := telemetry.NewServer("127.0.0.1:0", reg, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cfg := faultCfg(nodes, epochs, fault.KillPlan(victim, killAt, 7))
+	cfg.Telemetry = reg
+	cfg.Health = h
+	cfg.Tracer = tr
+	fs, err := RunPrototypeCfg(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.Survivors != nodes-1 {
+		t.Fatalf("survivors = %d, want %d", fs.Survivors, nodes-1)
+	}
+
+	// healthy -> degraded -> healthy across the kill/detect/compact arc.
+	if !h.SawFlap() {
+		t.Fatalf("health never flipped degraded->healthy; history: %+v", h.History())
+	}
+	if !h.Healthy() {
+		t.Fatalf("fabric not healthy after compaction; status: %+v", h.Status())
+	}
+
+	// Live /healthz agrees.
+	resp, err := http.Get("http://" + srv.Addr() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(string(hb), `"healthy"`) {
+		t.Fatalf("/healthz: %d %s", resp.StatusCode, hb)
+	}
+
+	// Live /metrics carries the key series.
+	resp, err = http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	metricsOut := string(mb)
+	for _, want := range []string{
+		"sirius_wire_cells_sent_total",
+		"sirius_wire_cells_received_total",
+		"sirius_wire_suspicions_total",
+		"sirius_wire_schedule_switches_total",
+		"sirius_awgr_frames_routed_total",
+		`sirius_awgr_port_frames_total{port="0"}`,
+	} {
+		if !strings.Contains(metricsOut, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// Registry-level assertions: each survivor raised or adopted the
+	// suspicion exactly once, and each applied exactly one switch.
+	snap := reg.Snapshot()
+	if got := snap.CounterTotal("sirius_wire_suspicions_total"); got != int64(nodes-1) {
+		t.Errorf("suspicions = %d, want %d (one per survivor)", got, nodes-1)
+	}
+	if got := snap.CounterTotal("sirius_wire_schedule_switches_total"); got != int64(nodes-1) {
+		t.Errorf("schedule switches = %d, want %d", got, nodes-1)
+	}
+	if got := snap.CounterTotal("sirius_awgr_frames_routed_total"); got != fs.Routed {
+		t.Errorf("telemetry routed = %d, emulator says %d", got, fs.Routed)
+	}
+	var sent int64
+	for _, st := range fs.Nodes {
+		sent += int64(st.Sent)
+	}
+	if got := snap.CounterTotal("sirius_wire_cells_sent_total"); got != sent {
+		t.Errorf("telemetry sent = %d, stats say %d", got, sent)
+	}
+
+	// The tracer holds valid Chrome trace-event JSON with epoch spans
+	// and the suspect/switch instants.
+	var sb strings.Builder
+	if err := tr.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if err := telemetry.ValidateTrace([]byte(sb.String())); err != nil {
+		t.Fatalf("trace schema: %v", err)
+	}
+	var sawEpoch, sawSuspect, sawSwitch bool
+	for _, ev := range tr.Events() {
+		switch ev.Name {
+		case "epoch":
+			sawEpoch = true
+		case "suspect":
+			sawSuspect = true
+		case "schedule-switch":
+			sawSwitch = true
+		}
+	}
+	if !sawEpoch || !sawSuspect || !sawSwitch {
+		t.Errorf("trace missing events: epoch=%v suspect=%v switch=%v", sawEpoch, sawSuspect, sawSwitch)
+	}
+}
+
+// TestLiveTelemetryReconnectFlap drives the scripted restart-flap plan
+// with a health tracker attached: the link-down condition must flip the
+// fabric degraded during the flap and clear on re-registration.
+func TestLiveTelemetryReconnectFlap(t *testing.T) {
+	const nodes, epochs, victim, flapAt = 4, 30, 1, 10
+	reg := telemetry.NewRegistry()
+	h := telemetry.NewHealth(64)
+
+	plan := &fault.Plan{Seed: 7, Events: []fault.Event{
+		{Kind: fault.Restart, Node: victim, Epoch: flapAt},
+	}}
+	cfg := faultCfg(nodes, epochs, plan)
+	cfg.Telemetry = reg
+	cfg.Health = h
+	fs, err := RunPrototypeCfg(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.Nodes[victim].Reconnects == 0 {
+		t.Fatalf("victim never reconnected: %+v", fs.Nodes[victim])
+	}
+	if !h.Healthy() {
+		t.Fatalf("fabric not healthy after flap: %+v", h.Status())
+	}
+	if !h.SawFlap() {
+		t.Fatalf("health never flipped during the flap; history: %+v", h.History())
+	}
+	if got := reg.Snapshot().CounterTotal("sirius_wire_reconnects_total"); got == 0 {
+		t.Error("reconnect counter never incremented")
+	}
+}
