@@ -29,7 +29,16 @@
 // Chrome trace_event timeline with one span per experiment and one span
 // per sweep point (plus cache-hit instants), loadable in Perfetto;
 // -perfjson FILE writes the per-experiment perf summaries as JSON
-// records (the -perf stderr text is unchanged).
+// records (the -perf stderr text is unchanged); -telemetry ADDR serves
+// /metrics and /healthz live during the run.
+//
+// Distributed sweeps (DESIGN.md §9): -serve ADDR runs a sweep
+// experiment as a cluster coordinator, leasing grid points to workers;
+// -worker ADDR runs this process as a worker against that coordinator
+// (with -worker-name, -worker-id, and -faultplan for scripted chaos).
+// The coordinator's output is byte-identical to a serial run at the
+// same seed; crashed or stalled workers lose their leases, which other
+// workers reclaim.
 package main
 
 import (
@@ -49,6 +58,7 @@ import (
 	"syscall"
 	"time"
 
+	"sirius/internal/cluster"
 	"sirius/internal/core"
 	"sirius/internal/dc"
 	"sirius/internal/exp"
@@ -87,6 +97,14 @@ func run(args []string) int {
 		perfJSON = fs.String("perfjson", "", "write the per-experiment perf summaries as JSON to this file")
 		telOut   = fs.String("telemetry-out", "", "write a JSON snapshot of the telemetry registry to this file on exit")
 		traceOut = fs.String("trace-events", "", "write a Chrome trace_event timeline (experiment + sweep-point spans) to this file")
+
+		serveAddr  = fs.String("serve", "", "run as sweep coordinator: listen for workers on this address (requires a sweep -exp)")
+		workerAddr = fs.String("worker", "", "run as sweep worker: lease points from the coordinator at this address")
+		workerName = fs.String("worker-name", "", "worker name, unique per coordinator (default worker-<worker-id>)")
+		workerID   = fs.Int("worker-id", 0, "worker id in fault-plan node space")
+		planPath   = fs.String("faultplan", "", "fault plan JSON (internal/fault format) scripting this worker's crash/stall chaos")
+		leaseTTL   = fs.Duration("lease-ttl", 10*time.Second, "coordinator lease TTL: heartbeats extend it, expiry reclaims the point")
+		telAddr    = fs.String("telemetry", "", "serve live /metrics and /healthz on this address while running")
 	)
 	fs.Parse(args)
 
@@ -158,6 +176,39 @@ func run(args []string) int {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// Live observability endpoint (any role): /metrics serves the
+	// telemetry registry, /healthz the health tracker — which the
+	// coordinator below feeds worker-liveness conditions.
+	health := telemetry.NewHealth(0)
+	if *telAddr != "" {
+		telSrv, err := telemetry.NewServer(*telAddr, telemetry.Default, health)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "telemetry: %v\n", err)
+			return 2
+		}
+		defer telSrv.Close()
+		fmt.Fprintf(os.Stderr, "telemetry: serving /metrics and /healthz on %s\n", telSrv.Addr())
+	}
+
+	if *workerAddr != "" {
+		if *serveAddr != "" {
+			fmt.Fprintln(os.Stderr, "-serve and -worker are mutually exclusive")
+			return 2
+		}
+		return runWorkerRole(ctx, workerOpts{
+			addr:      *workerAddr,
+			name:      *workerName,
+			id:        *workerID,
+			planPath:  *planPath,
+			useCache:  *useCache,
+			cacheDir:  *cacheDir,
+			perfJSON:  *perfJSON,
+			telOut:    *telOut,
+			pprof:     *pprofLabels,
+			dialRetry: 15 * time.Second,
+		})
+	}
+
 	var tracer *telemetry.Tracer // nil disables tracing (nil-safe)
 	if *traceOut != "" {
 		tracer = telemetry.NewTracer(0)
@@ -174,6 +225,45 @@ func run(args []string) int {
 		} else {
 			runner.Cache = cache
 		}
+	}
+
+	// Coordinator role: expand the experiment's point set, open the lease
+	// server and plug it into the runner as its executor. The experiment
+	// then runs exactly as usual — every point the local cache misses is
+	// leased to a worker instead of computed here.
+	var coord *cluster.Coordinator
+	if *serveAddr != "" {
+		if !sweepExps[*name] {
+			fmt.Fprintf(os.Stderr, "-serve requires a single sweep experiment, not %q\n", *name)
+			return 2
+		}
+		points, err := expandSweep(ctx, *name, sc, loadList)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+			return 2
+		}
+		spec, err := json.Marshal(clusterSpec{Exp: *name, Scale: *scale, Seed: sc.Seed, Loads: loadList, Epochs: *epochs})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+			return 2
+		}
+		coord, err = cluster.NewCoordinator(*serveAddr, cluster.CoordinatorConfig{
+			Spec:     spec,
+			RootSeed: sc.Seed,
+			SpecHash: cluster.HashPoints(sc.Seed, points),
+			LeaseTTL: *leaseTTL,
+			Registry: telemetry.Default,
+			Health:   health,
+			Log:      os.Stderr,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+			return 2
+		}
+		defer coord.Close()
+		runner.Executor = coord
+		fmt.Fprintf(os.Stderr, "serve: coordinating %s on %s (%d point(s), lease TTL %s)\n",
+			*name, coord.Addr(), len(points[*name]), *leaseTTL)
 	}
 
 	runners := map[string]func() (*exp.Table, error){
@@ -193,34 +283,20 @@ func run(args []string) int {
 		"livefailure": func() (*exp.Table, error) {
 			return exp.LiveFailure(4, 40, 2, 10, *seed)
 		},
-		"fig9": func() (*exp.Table, error) { return exp.Fig9(ctx, runner, sc, loadList) },
-		"fig10": func() (*exp.Table, error) {
-			return exp.Fig10(ctx, runner, sc, []int{2, 4, 8, 16}, loadList)
-		},
-		"fig11": func() (*exp.Table, error) {
-			return exp.Fig11(ctx, runner, sc, []float64{1, 5, 10, 20, 40})
-		},
-		"fig12": func() (*exp.Table, error) {
-			return exp.Fig12(ctx, runner, sc, []float64{1, 1.5, 2}, loadList)
-		},
-		"fig13": func() (*exp.Table, error) {
-			return exp.Fig13(ctx, runner, sc, []float64{512, 1024, 2048, 4096, 16384, 32768, 65536, 100_000}, 0.75)
-		},
-		"failure": func() (*exp.Table, error) {
-			return exp.Failure(ctx, runner, sc, []int{0, 1, 4, 8})
-		},
-		"servers": func() (*exp.Table, error) {
-			return exp.ServerLevel(ctx, runner, sc, 8, loadList)
-		},
-		"ablation": func() (*exp.Table, error) {
-			return exp.Ablation(ctx, runner, sc, 0.75)
-		},
 		"custom": func() (*exp.Table, error) {
 			if *trace == "" {
 				return nil, fmt.Errorf("-exp custom needs -trace <file.csv>")
 			}
 			return exp.FromTraceFile(ctx, *trace, *ports, 1)
 		},
+	}
+	// The sweep-shaped experiments all dispatch through runSweepExp — the
+	// single source of truth for each experiment's grid, shared with the
+	// cluster worker role so distributed point expansion can never drift
+	// from what runs here.
+	for id := range sweepExps {
+		id := id
+		runners[id] = func() (*exp.Table, error) { return runSweepExp(ctx, runner, id, sc, loadList) }
 	}
 
 	order := []string{"fig2a", "fig6a", "fig6b", "tuning", "lasers", "fig8a", "fig8b",
@@ -235,8 +311,15 @@ func run(args []string) int {
 	}
 
 	// perfRecord mirrors one experiment's perf stderr line for -perfjson.
+	// Role distinguishes cluster records: "coordinator" (with Points and
+	// PointsPerSec for the distributed sweep) vs the usual per-experiment
+	// records, which leave it empty.
 	type perfRecord struct {
-		Exp         string  `json:"exp"`
+		Exp          string  `json:"exp"`
+		Role         string  `json:"role,omitempty"`
+		Points       int64   `json:"points,omitempty"`
+		PointsPerSec float64 `json:"points_per_second,omitempty"`
+
 		WallNS      int64   `json:"wall_ns"`
 		Cells       int64   `json:"cells,omitempty"`
 		Slots       int64   `json:"slots,omitempty"`
@@ -346,6 +429,38 @@ func run(args []string) int {
 		runOne(*name)
 	}
 
+	// Coordinator wrap-up: tell workers the run is over, give them a
+	// moment to drain cleanly, and record the distributed throughput.
+	sweeps := runner.Manifests()
+	if coord != nil {
+		coord.Finish()
+		drainUntil := time.Now().Add(5 * time.Second)
+		for coord.Stats().WorkersLive > 0 && time.Now().Before(drainUntil) {
+			time.Sleep(20 * time.Millisecond)
+		}
+		st := coord.Stats()
+		wall := time.Since(started)
+		if *perf {
+			fmt.Fprintf(os.Stderr, "perf: %-9s %10v wall  %12d points  %8.2f points/s  (%d reclaimed, %d workers)\n",
+				"serve", wall.Round(time.Millisecond), st.Completed,
+				float64(st.Completed)/wall.Seconds(), st.Reclaimed, st.Registered)
+		}
+		if *perfJSON != "" {
+			rec := perfRecord{Exp: *name, Role: "coordinator", WallNS: wall.Nanoseconds(), Points: st.Completed}
+			if wall > 0 {
+				rec.PointsPerSec = float64(st.Completed) / wall.Seconds()
+			}
+			perfRecords = append(perfRecords, rec)
+		}
+		// Attach per-worker provenance (who computed what, on which
+		// build) to the manifest's sweeps via the coordinator's merge.
+		for i := range sweeps {
+			if merged, err := coord.MergedManifest(sweeps[i].Name); err == nil {
+				sweeps[i].Workers = merged.Workers
+			}
+		}
+	}
+
 	// Flush the run manifest — also on failure or SIGINT, so every point
 	// that did complete is accounted (and cached for the next run).
 	if *manifest != "" {
@@ -357,7 +472,7 @@ func run(args []string) int {
 			Parallel:   *parallel,
 			RootSeed:   sc.Seed,
 			Env:        sweep.CaptureEnv(),
-			Sweeps:     runner.Manifests(),
+			Sweeps:     sweeps,
 			Errors:     failures,
 		}
 		if runner.Cache != nil {

@@ -1,0 +1,84 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/binary"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// dialRaw opens a plain TCP connection for hand-rolled protocol tests.
+func dialRaw(addr string) (net.Conn, error) {
+	return net.DialTimeout("tcp", addr, 5*time.Second)
+}
+
+// TestFrameRoundTrip writes and re-reads every frame type.
+func TestFrameRoundTrip(t *testing.T) {
+	for ft := FrameRegister; ft <= FrameError; ft++ {
+		payload := []byte(`{"x":"` + ft.String() + `"}`)
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, ft, payload); err != nil {
+			t.Fatalf("%s: write: %v", ft, err)
+		}
+		got, gotPayload, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("%s: read: %v", ft, err)
+		}
+		if got != ft || !bytes.Equal(gotPayload, payload) {
+			t.Fatalf("%s: round trip gave %s %q", ft, got, gotPayload)
+		}
+	}
+}
+
+// TestFrameRejects pins the decoder's defensive checks: oversized
+// lengths and unknown types are rejected before any payload allocation,
+// truncation surfaces as an error, and oversized writes never leave the
+// sender.
+func TestFrameRejects(t *testing.T) {
+	// Length field larger than MaxFrame.
+	var over bytes.Buffer
+	var h [frameHeader]byte
+	binary.BigEndian.PutUint32(h[:4], MaxFrame+1)
+	h[4] = uint8(FrameResult)
+	over.Write(h[:])
+	if _, _, err := ReadFrame(&over); err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Errorf("oversized length: %v", err)
+	}
+	// Unknown frame types: zero and past FrameError.
+	for _, bad := range []uint8{0, uint8(FrameError) + 1, 0xFF} {
+		var buf bytes.Buffer
+		binary.BigEndian.PutUint32(h[:4], 0)
+		h[4] = bad
+		buf.Write(h[:])
+		if _, _, err := ReadFrame(&buf); err == nil || !strings.Contains(err.Error(), "unknown frame type") {
+			t.Errorf("type %d: %v", bad, err)
+		}
+	}
+	// Truncated header and truncated payload.
+	var full bytes.Buffer
+	if err := WriteFrame(&full, FrameLease, []byte(`{"sweep":"fig9"}`)); err != nil {
+		t.Fatal(err)
+	}
+	raw := full.Bytes()
+	for _, n := range []int{0, 1, frameHeader - 1, frameHeader + 3, len(raw) - 1} {
+		if _, _, err := ReadFrame(bytes.NewReader(raw[:n])); err == nil {
+			t.Errorf("truncation at %d/%d bytes accepted", n, len(raw))
+		}
+	}
+	// Oversized write is refused client-side.
+	if err := WriteFrame(&bytes.Buffer{}, FrameResult, make([]byte, MaxFrame+1)); err == nil {
+		t.Error("oversized write accepted")
+	}
+}
+
+// TestFrameTypeString covers the debug names, including out-of-range.
+func TestFrameTypeString(t *testing.T) {
+	if FrameLease.String() != "lease" || FrameHeartbeat.String() != "heartbeat" {
+		t.Error("frame type names wrong")
+	}
+	if s := FrameType(42).String(); s != "type-42" {
+		t.Errorf("out-of-range name %q", s)
+	}
+}

@@ -1,0 +1,73 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+)
+
+// FuzzClusterFrame checks the cluster framing decoder against arbitrary
+// input, mirroring internal/wire's FuzzReadFrame: no panics, allocation
+// bounded by MaxFrame, truncated/oversized/type-corrupted frames
+// rejected cleanly, and every accepted frame re-encodes byte-identically.
+func FuzzClusterFrame(f *testing.F) {
+	var seed bytes.Buffer
+	_ = WriteFrame(&seed, FrameLease, []byte(`{"sweep":"fig9","index":3,"key":"load=0.5","seed":42,"ttl_ms":10000}`))
+	f.Add(seed.Bytes())
+	// Empty-payload frame of each boundary type.
+	var reg bytes.Buffer
+	_ = WriteFrame(&reg, FrameRegister, nil)
+	f.Add(reg.Bytes())
+	var errf bytes.Buffer
+	_ = WriteFrame(&errf, FrameError, []byte(`{"msg":"boom"}`))
+	f.Add(errf.Bytes())
+	// Truncated mid-header and mid-payload.
+	f.Add(seed.Bytes()[:3])
+	f.Add(seed.Bytes()[:frameHeader+4])
+	// Unknown type byte (0 and past FrameError).
+	zeroType := append([]byte(nil), seed.Bytes()...)
+	zeroType[4] = 0
+	f.Add(zeroType)
+	badType := append([]byte(nil), seed.Bytes()...)
+	badType[4] = uint8(FrameError) + 7
+	f.Add(badType)
+	// Length field just past the limit, and large-but-legal truncated.
+	var over [frameHeader]byte
+	binary.BigEndian.PutUint32(over[:4], MaxFrame+1)
+	over[4] = uint8(FrameResult)
+	f.Add(over[:])
+	var big [frameHeader]byte
+	binary.BigEndian.PutUint32(big[:4], 1<<20)
+	big[4] = uint8(FrameResult)
+	f.Add(big[:])
+	// Header-corrupted variant of a valid frame: flipped length bytes.
+	corrupted := append([]byte(nil), seed.Bytes()...)
+	corrupted[0] ^= 0x80
+	corrupted[3] ^= 0x01
+	f.Add(corrupted)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ft, payload, err := ReadFrame(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if ft < FrameRegister || ft > FrameError {
+			t.Fatalf("decoder accepted out-of-range frame type %d", ft)
+		}
+		if len(payload) > MaxFrame {
+			t.Fatalf("decoder returned %d-byte payload past MaxFrame", len(payload))
+		}
+		var out bytes.Buffer
+		if err := WriteFrame(&out, ft, payload); err != nil {
+			t.Fatal(err)
+		}
+		ft2, payload2, err := ReadFrame(&out)
+		if err != nil && err != io.EOF {
+			t.Fatalf("re-read: %v", err)
+		}
+		if ft2 != ft || !bytes.Equal(payload2, payload) {
+			t.Fatal("frame round trip mismatch")
+		}
+	})
+}

@@ -1,0 +1,34 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"sirius/internal/rng"
+	"sirius/internal/sweep"
+)
+
+// HashPoints content-addresses an expanded point set: FNV-1a 64 over
+// (root seed, then for each sweep in name order: the sweep name and
+// every point's key and substream seed, in index order). Coordinator and
+// worker both hash their locally-expanded sets; equal hashes mean both
+// sides will compute identical rows for any leased index, so a version
+// or configuration skew is caught before any point runs instead of
+// corrupting the merged output.
+func HashPoints(rootSeed uint64, points map[string][]sweep.Point) string {
+	names := make([]string, 0, len(points))
+	for name := range points {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	h := fnv.New64a()
+	fmt.Fprintf(h, "root=%d", rootSeed)
+	for _, name := range names {
+		fmt.Fprintf(h, "\x00sweep=%s", name)
+		for i, p := range points[name] {
+			fmt.Fprintf(h, "\x00%d\x00%s\x00%d", i, p.Key, rng.PointSeed(rootSeed, uint64(i)))
+		}
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}

@@ -80,8 +80,12 @@ func (c *Cache) Get(id Identity) (rows [][]string, wall int64, ok bool) {
 }
 
 // Put memoizes a completed point atomically (write to a temp file in the
-// same directory, then rename), so concurrent writers and crashed runs
-// can never leave a partially-written entry visible.
+// same directory, fsync, then rename), so concurrent writers and crashed
+// or killed runs can never leave a partially-written entry visible under
+// a content address: a worker killed mid-Put leaves at most an orphaned
+// .tmp-* file, which Get never looks at, and a torn or truncated entry
+// surviving a harder crash fails JSON decoding in Get and is treated as
+// a miss for Put to repair.
 func (c *Cache) Put(id Identity, rows [][]string, wallNS int64) error {
 	data, err := json.Marshal(entry{Identity: id, Rows: rows, WallNS: wallNS})
 	if err != nil {
@@ -92,6 +96,12 @@ func (c *Cache) Put(id Identity, rows [][]string, wallNS int64) error {
 		return fmt.Errorf("sweep: cache temp: %w", err)
 	}
 	_, werr := tmp.Write(data)
+	if werr == nil {
+		// Flush to stable storage before the rename makes the entry
+		// addressable: rename-then-crash must never expose an empty or
+		// partial file under a valid content address.
+		werr = tmp.Sync()
+	}
 	cerr := tmp.Close()
 	if werr != nil || cerr != nil {
 		os.Remove(tmp.Name())

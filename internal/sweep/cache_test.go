@@ -1,0 +1,73 @@
+package sweep
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestCacheTruncatedEntryIsMiss pins the crash-safety contract of the
+// cache: a worker killed mid-write can never leave an entry that a later
+// Get deserializes. Every truncation prefix of a valid entry — including
+// the empty file — must read as a miss, never an error or a partial
+// replay, and Put must repair the slot.
+func TestCacheTruncatedEntryIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := Identity{Sweep: "fig9", Key: "load=0.5", Seed: 7}
+	rows := [][]string{{"0.5", "1.23", "0.97"}, {"0.5", "4.56", "0.99"}}
+	if err := c.Put(id, rows, 42); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, id.Hash()+".json")
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncate at a spread of prefix lengths: mid-header, mid-rows, one
+	// byte short of complete, and empty.
+	for _, n := range []int{0, 1, 10, len(full) / 3, len(full) / 2, len(full) - 1} {
+		if err := os.WriteFile(path, full[:n], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if got, _, ok := c.Get(id); ok {
+			t.Fatalf("truncated entry (%d/%d bytes) replayed rows %v", n, len(full), got)
+		}
+	}
+	// Put repairs the truncated slot and the full rows replay again.
+	if err := c.Put(id, rows, 42); err != nil {
+		t.Fatal(err)
+	}
+	got, wall, ok := c.Get(id)
+	if !ok || wall != 42 || !reflect.DeepEqual(got, rows) {
+		t.Fatalf("repaired entry: ok=%v wall=%d rows=%v", ok, wall, got)
+	}
+}
+
+// TestCacheOrphanTempInvisible pins that a crash between CreateTemp and
+// rename — an orphaned .tmp-* file in the cache dir — is invisible to
+// Get and does not break later Puts.
+func TestCacheOrphanTempInvisible(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, ".tmp-crashed"), []byte(`{"identity":`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	id := Identity{Sweep: "s", Key: "k", Seed: 1}
+	if _, _, ok := c.Get(id); ok {
+		t.Fatal("orphan temp file visible as a cache hit")
+	}
+	if err := c.Put(id, [][]string{{"x"}}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := c.Get(id); !ok {
+		t.Fatal("entry missing after Put alongside orphan temp")
+	}
+}

@@ -1,0 +1,145 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"sirius/internal/rng"
+)
+
+// partition splits a serial manifest's point records into per-worker
+// partial manifests according to owner[i] = worker index of point i,
+// mimicking what a cluster coordinator accumulates: each partial carries
+// its worker's name and RunEnv and only the points it executed.
+func partition(t *testing.T, serial SweepManifest, owner []int, workers int) []SweepManifest {
+	t.Helper()
+	parts := make([]SweepManifest, workers)
+	for w := range parts {
+		parts[w] = SweepManifest{
+			Name:     serial.Name,
+			RootSeed: serial.RootSeed,
+			Parallel: 1,
+			WallNS:   serial.WallNS,
+			Workers: []WorkerRun{{
+				Worker: fmt.Sprintf("w%d", w),
+				Env:    CaptureEnv(),
+			}},
+		}
+	}
+	for i, p := range serial.Points {
+		w := owner[i]
+		parts[w].Points = append(parts[w].Points, p)
+		parts[w].Workers[0].Points++
+		if p.Cached {
+			parts[w].CacheHit++
+			parts[w].Workers[0].CacheHits++
+		}
+	}
+	return parts
+}
+
+// TestMergeManifestsEqualsSerial is the merge property test: partition a
+// serial sweep manifest into per-worker partials in several ways, merge
+// each partition in many permutation orders, and assert the merge always
+// reproduces the serial manifest — point records in index order,
+// percentiles recomputed to the serial values exactly, per-worker RunEnv
+// preserved — independent of partition shape and merge order.
+func TestMergeManifestsEqualsSerial(t *testing.T) {
+	const n = 23
+	r := &Runner{Parallel: 1, RootSeed: 12345}
+	if _, err := r.Run(context.Background(), "merge-prop", fakePoints(n, 0)); err != nil {
+		t.Fatal(err)
+	}
+	serial := r.Manifests()[0]
+	if len(serial.Points) != n {
+		t.Fatalf("serial manifest has %d points", len(serial.Points))
+	}
+
+	rand := rng.New(99)
+	for trial := 0; trial < 50; trial++ {
+		workers := 1 + int(rand.Uint64()%5)
+		owner := make([]int, n)
+		for i := range owner {
+			owner[i] = int(rand.Uint64()) % workers
+			if owner[i] < 0 {
+				owner[i] += workers
+			}
+		}
+		parts := partition(t, serial, owner, workers)
+		// Shuffle the merge order (Fisher–Yates on the parts slice).
+		for i := len(parts) - 1; i > 0; i-- {
+			j := int(rand.Uint64() % uint64(i+1))
+			parts[i], parts[j] = parts[j], parts[i]
+		}
+
+		merged, err := MergeManifests(parts...)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// The determinism-pinned content is identical...
+		if !reflect.DeepEqual(merged.Canonical(), serial.Canonical()) {
+			t.Fatalf("trial %d (workers=%d): merged canonical form diverges\nmerged: %+v\nserial: %+v",
+				trial, workers, merged.Canonical(), serial.Canonical())
+		}
+		// ...the full point records too (the partition copied them verbatim).
+		if !reflect.DeepEqual(merged.Points, serial.Points) {
+			t.Fatalf("trial %d: merged point records reordered or mutated", trial)
+		}
+		// Percentiles are recomputed over the union: same values, same
+		// estimator, so they equal the serial manifest's exactly.
+		if merged.WallP50NS != serial.WallP50NS || merged.WallP95NS != serial.WallP95NS || merged.WallMaxNS != serial.WallMaxNS {
+			t.Fatalf("trial %d: percentiles p50=%d/%d p95=%d/%d max=%d/%d (merged/serial)",
+				trial, merged.WallP50NS, serial.WallP50NS,
+				merged.WallP95NS, serial.WallP95NS, merged.WallMaxNS, serial.WallMaxNS)
+		}
+		// Per-worker provenance: one entry per worker, sorted by name,
+		// env preserved, point counts matching the partition.
+		if len(merged.Workers) != workers {
+			t.Fatalf("trial %d: merged workers = %d, want %d", trial, len(merged.Workers), workers)
+		}
+		total := 0
+		for i, w := range merged.Workers {
+			if i > 0 && merged.Workers[i-1].Worker > w.Worker {
+				t.Fatalf("trial %d: workers not sorted: %q after %q", trial, w.Worker, merged.Workers[i-1].Worker)
+			}
+			if w.Env == nil || w.Env.GoVersion == "" {
+				t.Fatalf("trial %d: worker %q lost its RunEnv", trial, w.Worker)
+			}
+			total += w.Points
+		}
+		if total != n {
+			t.Fatalf("trial %d: workers account for %d/%d points", trial, total, n)
+		}
+		if merged.CacheHit != serial.CacheHit {
+			t.Fatalf("trial %d: cache hits %d, want %d", trial, merged.CacheHit, serial.CacheHit)
+		}
+	}
+}
+
+// TestMergeManifestsRejectsMismatch pins the merge's integrity checks:
+// different sweeps, different root seeds, and duplicated point indices
+// (an at-least-once runner delivering a point twice) are errors, not
+// silent corruption.
+func TestMergeManifestsRejectsMismatch(t *testing.T) {
+	a := SweepManifest{Name: "a", RootSeed: 1, Points: []PointRecord{{Index: 0, Key: "k"}}}
+	b := SweepManifest{Name: "b", RootSeed: 1}
+	if _, err := MergeManifests(a, b); err == nil {
+		t.Error("cross-sweep merge accepted")
+	}
+	c := SweepManifest{Name: "a", RootSeed: 2}
+	if _, err := MergeManifests(a, c); err == nil {
+		t.Error("cross-seed merge accepted")
+	}
+	dup := SweepManifest{Name: "a", RootSeed: 1, Points: []PointRecord{{Index: 0, Key: "k"}}}
+	if _, err := MergeManifests(a, dup); err == nil {
+		t.Error("duplicate point index accepted")
+	}
+	if _, err := MergeManifests(); err == nil {
+		t.Error("empty merge accepted")
+	}
+	if m, err := MergeManifests(a); err != nil || len(m.Points) != 1 {
+		t.Errorf("single-part merge: %v %+v", err, m)
+	}
+}

@@ -30,6 +30,7 @@ package sweep
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -56,6 +57,24 @@ type Point struct {
 	Run func(ctx context.Context, seed uint64) ([][]string, error)
 }
 
+// Executor runs a single sweep point somewhere — possibly in another
+// process. The Runner's default (nil) executor runs points in-process;
+// internal/cluster's Coordinator implements Executor by leasing the
+// point to a remote worker and blocking until a result arrives.
+//
+// Implementations must preserve the determinism contract: the returned
+// rows must equal what p.Run(ctx, seed) would have produced locally.
+// The returned PointRecord carries execution metadata (wall time, cache
+// hit, worker placement); identity fields (Index, Key, Seed, Hash) are
+// re-stamped by the Runner and need not be populated.
+type Executor interface {
+	ExecPoint(ctx context.Context, sweep string, index int, p Point, seed uint64) ([][]string, PointRecord, error)
+}
+
+// ErrCaptureOnly is returned by Run when the Runner is in capture mode
+// (Capture != nil): the point set was recorded and nothing executed.
+var ErrCaptureOnly = errors.New("sweep: capture-only runner (points recorded, nothing executed)")
+
 // Runner executes sweeps. The zero value runs serially with no cache and
 // no progress output; a Runner is safe for use by one sweep at a time
 // (Run is not reentrant, but successive Runs accumulate manifests).
@@ -80,19 +99,43 @@ type Runner struct {
 	// instant per cache replay, so `siriussim -trace-events` shows the
 	// sweep's parallel schedule in Perfetto.
 	Tracer *telemetry.Tracer
+	// Executor, when non-nil, dispatches points to an external execution
+	// plane (a cluster coordinator) instead of running them in-process.
+	// The local Cache is still consulted first — a hit never leaves the
+	// process — and filled with returned rows, so the cache doubles as
+	// the shared result store between runs. With an Executor set, Run
+	// makes every point dispatchable at once (Parallel is ignored): the
+	// executor, not this pool, bounds real concurrency.
+	Executor Executor
+	// Capture, when non-nil, switches Run into capture mode: Run calls
+	// Capture(name, points) and returns ErrCaptureOnly without executing
+	// anything. Cluster workers use this to expand an experiment's point
+	// set — the closures an experiment would have executed — so a leased
+	// point index can be resolved to runnable code.
+	Capture func(name string, points []Point)
 
 	mu        sync.Mutex
 	manifests []SweepManifest
 	wall      metrics.Sample // reused across sweeps (Reset per Run) for the percentile summary
+	anchor    time.Time      // ExecPoint span anchor, set lazily on first use
 }
 
 // Run executes the named sweep and returns each point's rows in point
 // order. On error (or cancellation) the first failure is returned;
 // already-completed points are still cached and recorded in the manifest.
 func (r *Runner) Run(ctx context.Context, name string, points []Point) ([][][]string, error) {
+	if r.Capture != nil {
+		r.Capture(name, points)
+		return nil, ErrCaptureOnly
+	}
 	workers := r.Parallel
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
+	}
+	if r.Executor != nil {
+		// Every point must be dispatchable at once: the executor bounds
+		// real concurrency, this pool only parks bookkeeping goroutines.
+		workers = len(points)
 	}
 	if workers > len(points) {
 		workers = len(points)
@@ -155,7 +198,7 @@ func (r *Runner) Run(ctx context.Context, name string, points []Point) ([][][]st
 					finish(i, PointRecord{Index: i, Key: points[i].Key, Err: ctx.Err().Error()}, nil, ctx.Err())
 					continue
 				}
-				rows, rec, err := r.runPoint(ctx, name, i, points[i], start)
+				rows, rec, err := r.runPoint(ctx, name, i, points[i], start, r.Executor)
 				finish(i, rec, rows, err)
 			}
 		}()
@@ -209,8 +252,10 @@ func (r *Runner) Run(ctx context.Context, name string, points []Point) ([][][]st
 
 // runPoint executes (or replays) one point. sweepStart anchors the
 // point's manifest span (StartNS is relative to the sweep's first
-// instant, so spans from different parallelism levels line up).
-func (r *Runner) runPoint(ctx context.Context, name string, i int, p Point, sweepStart time.Time) ([][]string, PointRecord, error) {
+// instant, so spans from different parallelism levels line up). exec is
+// the external executor to dispatch through, or nil for in-process
+// execution.
+func (r *Runner) runPoint(ctx context.Context, name string, i int, p Point, sweepStart time.Time, exec Executor) ([][]string, PointRecord, error) {
 	seed := rng.PointSeed(r.RootSeed, uint64(i))
 	id := Identity{Sweep: name, Key: p.Key, Seed: seed}
 	rec := PointRecord{Index: i, Key: p.Key, Seed: seed, Hash: id.Hash()}
@@ -226,6 +271,28 @@ func (r *Runner) runPoint(ctx context.Context, name string, i int, p Point, swee
 	}
 	begin := time.Now()
 	rec.StartNS = begin.Sub(sweepStart).Nanoseconds()
+	if exec != nil {
+		// Remote execution: identity fields stay local truth, execution
+		// metadata (wall time, placement, worker-side cache hit) comes
+		// from the executor's record.
+		rows, rrec, err := exec.ExecPoint(ctx, name, i, p, seed)
+		r.Tracer.Span("point", "sweep", i, begin, map[string]string{"sweep": name, "point": p.Key, "worker": rrec.Worker})
+		if err != nil {
+			rec.Err = err.Error()
+			return nil, rec, err
+		}
+		rec.Cached = rrec.Cached
+		rec.WallNS = rrec.WallNS
+		rec.Worker = rrec.Worker
+		rec.CacheErr = rrec.CacheErr
+		rec.Rows = len(rows)
+		if r.Cache != nil {
+			if cerr := r.Cache.Put(id, rows, rec.WallNS); cerr != nil {
+				rec.CacheErr = cerr.Error()
+			}
+		}
+		return rows, rec, nil
+	}
 	var rows [][]string
 	var err error
 	if r.PprofLabels {
@@ -249,6 +316,22 @@ func (r *Runner) runPoint(ctx context.Context, name string, i int, p Point, swee
 		}
 	}
 	return rows, rec, nil
+}
+
+// ExecPoint executes (or replays from the cache) one point in-process,
+// outside any sweep: the entry point for cluster workers, which resolve
+// leased point indices to Points and execute them one at a time with the
+// runner's cache, tracer and pprof labels. The runner's Executor is
+// deliberately ignored — a worker always computes locally. Point spans
+// are anchored at the runner's first ExecPoint call.
+func (r *Runner) ExecPoint(ctx context.Context, name string, i int, p Point) ([][]string, PointRecord, error) {
+	r.mu.Lock()
+	if r.anchor.IsZero() {
+		r.anchor = time.Now()
+	}
+	anchor := r.anchor
+	r.mu.Unlock()
+	return r.runPoint(ctx, name, i, p, anchor, nil)
 }
 
 // Manifests returns a snapshot of the manifests of every sweep this
