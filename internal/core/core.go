@@ -134,6 +134,13 @@ type Config struct {
 	Seed uint64
 	// MaxSlots caps the run as a safety net; 0 means a generous default.
 	MaxSlots int64
+	// Shards partitions the slot loop across that many goroutines owning
+	// contiguous node ranges (shard.go). Results are byte-identical to the
+	// serial engine at the same seed — the sharded engine replays the
+	// serial discipline exactly (see DESIGN.md §6, "Scaling law") — so
+	// Shards is purely a throughput knob. 0 or 1 selects the serial
+	// engine. Values are clamped to the node count and to 64.
+	Shards int
 }
 
 // Results summarizes a run.
@@ -307,6 +314,10 @@ type sim struct {
 	grantsIssued int64   // request/grant mode: grants handed out
 	grantsUnused int64   // grants whose LOCAL queue had drained
 	localStalls  int64   // drainPending stalls on the LOCAL cap (guardband)
+	txCells      int64   // cells transmitted (slot-loop pops), all uplinks
+
+	// sh is the sharded engine (nil = serial). See shard.go.
+	sh *shardEng
 }
 
 // Run simulates the given flows to completion and returns the results.
@@ -457,6 +468,20 @@ func newSim(ctx context.Context, cfg Config, flows []workload.Flow) (*sim, error
 			s.cc.InstantControl()
 		}
 	}
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("core: negative shard count")
+	}
+	if p := cfg.Shards; p > 1 {
+		if p > n {
+			p = n
+		}
+		if p > maxShards {
+			p = maxShards
+		}
+		if p > 1 {
+			s.sh = newShardEng(s, p)
+		}
+	}
 	return s, nil
 }
 
@@ -516,6 +541,11 @@ func (s *sim) run() (*Results, error) {
 	var slot int64
 	quiescent := 0
 
+	if s.sh != nil {
+		s.sh.start()
+		defer s.sh.stop()
+	}
+
 	for ; slot < maxSlots; slot++ {
 		now := simtime.Time(slot * int64(slotDur))
 		// Inject flows that have arrived by the start of this slot.
@@ -551,11 +581,18 @@ func (s *sim) run() (*Results, error) {
 				}
 			}
 		}
-		s.step(e, now.Add(slotDur))
+		if s.sh != nil {
+			s.stepSharded(e, now.Add(slotDur))
+		} else {
+			s.step(e, now.Add(slotDur))
+		}
 	}
 	if slot >= maxSlots {
 		return nil, fmt.Errorf("core: slot cap %d reached with %d/%d flows complete",
 			maxSlots, s.completed, len(s.flows))
+	}
+	if s.sh != nil {
+		s.sh.mergeStats()
 	}
 	statCells.Add(s.delivered)
 	statSlots.Add(slot)
@@ -613,26 +650,34 @@ func (s *sim) step(e int, deliverAt simtime.Time) {
 	if e == 0 {
 		s.epochBoundary()
 	}
-	uplinks := s.uplinks
-	row := s.dstTable[e*s.n*uplinks : (e+1)*s.n*uplinks]
-	tx := s.txActive
+	row := s.dstTable[e*s.n*s.uplinks : (e+1)*s.n*s.uplinks]
 	for node := s.workActive.next(0); node >= 0; node = s.workActive.next(node + 1) {
-		nodeRow := row[node*uplinks : (node+1)*uplinks]
-		base := node * s.n
-		for u := 0; u < uplinks; u++ {
-			dst := int(nodeRow[u])
-			if dst < 0 || dst == node {
-				continue
-			}
-			if !tx.has(base + dst) {
-				s.upIdle[u]++
-				continue // both queues for this peer are empty: idle slot
-			}
-			s.transmit(node, dst, deliverAt)
-			s.upTx[u]++
-			if s.workCells[node] == 0 {
-				break // node drained mid-slot; remaining uplinks are idle
-			}
+		s.nodeStep(node, row, deliverAt)
+	}
+}
+
+// nodeStep runs one node's turn of the slot: the uplink fan-out over this
+// slot's schedule row. It is shared between the serial slot loop and the
+// sharded engine's serial pass over affected nodes (shard.go), which is
+// why it is split out of step.
+func (s *sim) nodeStep(node int, row []int32, deliverAt simtime.Time) {
+	uplinks := s.uplinks
+	nodeRow := row[node*uplinks : (node+1)*uplinks]
+	base := node * s.n
+	tx := s.txActive
+	for u := 0; u < uplinks; u++ {
+		dst := int(nodeRow[u])
+		if dst < 0 || dst == node {
+			continue
+		}
+		if !tx.has(base + dst) {
+			s.upIdle[u]++
+			continue // both queues for this peer are empty: idle slot
+		}
+		s.transmit(node, dst, deliverAt)
+		s.upTx[u]++
+		if s.workCells[node] == 0 {
+			break // node drained mid-slot; remaining uplinks are idle
 		}
 	}
 }
@@ -856,16 +901,28 @@ func (s *sim) findVia(node, d int) (int, bool) {
 // (the dstActive index), so an idle or lightly loaded node costs O(n/64)
 // instead of O(n).
 func (s *sim) demand(node int) []int {
+	buf, cands, counts := s.demandScan(node, s.demandBuf[:0], s.demandCands[:0], s.demandCounts[:0])
+	s.demandBuf = buf
+	s.demandCands, s.demandCounts = cands[:0], counts[:0]
+	return buf
+}
+
+// demandScan is demand with caller-provided scratch, appending node's
+// request candidates to buf (which may already hold other nodes'): the
+// sharded engine precomputes every node's demand concurrently with one
+// scratch set per shard (shard.go), accumulating into per-shard flat
+// buffers. The enumeration order and the demandStart bump are exactly
+// demand's.
+func (s *sim) demandScan(node int, buf []int, cands, counts []int32) ([]int, []int32, []int32) {
 	start := s.demandStart[node] % s.n
 	s.demandStart[node]++
 	if s.localCount[node] == 0 {
-		return s.demandBuf[:0]
+		return buf, cands, counts
 	}
-	buf := s.demandBuf[:0]
+	n0 := len(buf)
 	limit := s.k * (s.n - 1)
 	// Collect the destinations with backlog and their depths, in the
 	// rotated order the reference scan produced.
-	cands, counts := s.demandCands[:0], s.demandCounts[:0]
 	base := node * s.n
 	row := s.dstRow(node)
 	for d := row.next(start); d >= 0; d = row.next(d + 1) {
@@ -878,7 +935,7 @@ func (s *sim) demand(node int) []int {
 	}
 	// Distribute the budget one cell per destination per pass, dropping
 	// exhausted queues from the compact candidate list.
-	for len(buf) < limit && len(cands) > 0 {
+	for len(buf)-n0 < limit && len(cands) > 0 {
 		w := 0
 		for i, d := range cands {
 			buf = append(buf, int(d))
@@ -887,15 +944,13 @@ func (s *sim) demand(node int) []int {
 				cands[w], counts[w] = d, counts[i]
 				w++
 			}
-			if len(buf) == limit {
+			if len(buf)-n0 == limit {
 				break
 			}
 		}
 		cands, counts = cands[:w], counts[:w]
 	}
-	s.demandBuf = buf
-	s.demandCands, s.demandCounts = cands[:0], counts[:0]
-	return buf
+	return buf, cands, counts
 }
 
 // transmit sends at most one cell from node to dst in this slot: either a
@@ -915,6 +970,7 @@ func (s *sim) transmit(node, dst int, deliverAt simtime.Time) {
 	case useFwd:
 		// Forward a cell queued at this node (as intermediate) destined
 		// dst: final delivery.
+		s.txCells++
 		ref := fw.pop(&s.ar64)
 		if fw.empty() && vq.empty() {
 			s.txActive.clear(idx)
@@ -931,6 +987,7 @@ func (s *sim) transmit(node, dst int, deliverAt simtime.Time) {
 	case !vq.empty():
 		// Send a granted cell to its intermediate (possibly the final
 		// destination itself: the direct path).
+		s.txCells++
 		ref := vq.pop(&s.ar64)
 		if vq.empty() && fw.empty() {
 			s.txActive.clear(idx)
@@ -954,6 +1011,12 @@ func (s *sim) transmit(node, dst int, deliverAt simtime.Time) {
 		s.txActive.set(fwdIdx)
 		s.workInc(dst)
 		s.queueGauge[dst].Add(1)
+		if s.sh != nil {
+			// Sweep replay of an affected node (shardSweep): the push
+			// bypassed the event log, but the receiver still needs the
+			// idle-correction bookkeeping its logged counterparts get.
+			s.sh.noteSweepPush(node, dst)
+		}
 	}
 	// Otherwise idle: the slot carries only piggybacked control (already
 	// modeled by the epoch-granularity control plane).

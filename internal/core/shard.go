@@ -1,0 +1,670 @@
+// Sharded slot-loop engine: partitions the simulator's nodes across P
+// goroutines while staying byte-identical to the serial engine at a fixed
+// seed (the same discipline as dc.Config.Parallel and the sweep engine).
+//
+// # Why sharding is hard here
+//
+// The serial slot loop iterates nodes in ascending order and commits every
+// effect live: when node i forwards a fresh cell to intermediate j > i,
+// the push into j's forward queue is visible to j *in the same slot* — j
+// may transmit that state's consequences when its turn comes. A naive
+// compute-then-commit split breaks five of the six golden fixtures.
+//
+// The key structural facts that make an exact parallel schedule possible:
+//
+//  1. Same-slot cross-node *decisions* are influenced only by pushes into
+//     forward queues, and those originate only from VOQ-head cells on
+//     edges of this slot's matching.
+//  2. A push into fwdq[j][f] changes j's behavior this slot only when f is
+//     one of j's scheduled peers this slot (otherwise the (j,f) pair is
+//     never probed; only j's early-break bookkeeping can differ, which is
+//     corrected after the fact).
+//
+// So each slot runs as: a cheap conservative *screen* computes the
+// affected set A = {j : some i < j may push a cell for one of j's
+// scheduled peers}; phase T processes every node outside A in parallel
+// (own-row state live, cross-node effects appended to per-shard event
+// logs keyed by producer id); then a serial sweep walks the event logs in
+// producer order — shard logs cover contiguous ascending node ranges, so
+// concatenation is already globally sorted — interleaving the A-nodes at
+// their key positions using the unmodified serial per-node code
+// (sim.nodeStep). The sweep therefore reproduces the serial execution's
+// exact operation order for every piece of shared state (forward queues,
+// congestion accounting, queue gauges, deliveries), which is what the
+// byte-identity tests pin.
+//
+// The epoch boundary is parallelized per mode in shard_epoch.go; the
+// request/grant RNG draw order is preserved by keeping the RNG-bearing
+// skeleton serial and fanning out only the demand precompute, the request
+// scatter, and grant delivery.
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"sirius/internal/congestion"
+	"sirius/internal/simtime"
+)
+
+// maxShards bounds Config.Shards (and sizes the per-shard package
+// counters behind ShardCounters).
+const maxShards = 64
+
+// Per-shard cells transmitted, cumulative across runs, for the -perfjson
+// per-shard throughput line. Serial runs attribute everything to shard 0.
+var statShardCells [maxShards]atomic.Int64
+
+// ShardCounters reports the cumulative cells transmitted attributed to
+// each shard index across every completed Run in this process (cells a
+// shard's nodes sent — in parallel phase T or in the serial sweep).
+// Snapshot before and after a workload, like Counters.
+func ShardCounters() [maxShards]int64 {
+	var out [maxShards]int64
+	for i := range statShardCells {
+		out[i] = statShardCells[i].Load()
+	}
+	return out
+}
+
+// Event kinds recorded by phase T, applied by the serial sweep.
+const (
+	evFwd    = iota // forward-queue pop delivered: gauge -1, deliver
+	evDirect        // VOQ cell sent to its destination: arrive + deliver
+	evPush          // VOQ cell pushed to intermediate dst's forward queue
+)
+
+// shEvent is one deferred cross-node effect. key is the producing node;
+// per-shard logs are appended in ascending key order, so the concatenation
+// across shards (contiguous ascending node ranges) is globally sorted.
+type shEvent struct {
+	key   int32
+	kind  int32
+	dst   int32 // evDirect: destination; evPush: intermediate
+	final int32 // evPush: the cell's final destination
+	ref   int64
+}
+
+// reqEnt is one request emitted by the serial congestion skeleton,
+// scattered to reqSet state in parallel by via ownership.
+type reqEnt struct{ via, dst, src int32 }
+
+// shardState is one shard's private mutable state. Everything the
+// parallel phases write without synchronization lives here (or in arrays
+// indexed by a node the shard owns).
+type shardState struct {
+	ev     []shEvent // phase T event log, reset each slot
+	upTx   []int64   // per uplink, merged into sim.upTx at flush
+	upIdle []int64
+	cells  int64 // cells transmitted by this shard's nodes in phase T
+
+	// Arenas: segments migrate freely between the per-shard and serial
+	// arenas (capacity classes are identical), each arena is only touched
+	// by its owning goroutine per phase.
+	ar32 arena[int32]
+	ar64 arena[int64]
+
+	// Epoch-phase state (request/grant mode).
+	demandFlat   []int   // per-node demand slices, offsets in eng.demandOff
+	demandCands  []int32 // scratch for demandScan
+	demandCounts []int32
+	unused       []uint64 // packed via<<32|dst grants to release serially
+	grantsIssued int64
+	grantsUnused int64
+
+	_ [64]byte // guard against false sharing between shard states
+}
+
+// shardEng drives the phases. The goroutine running sim.run acts as the
+// coordinator and as shard 0; p-1 workers handle the rest. Phases are
+// dispatched over per-worker channels and joined with a WaitGroup, so a
+// steady-state slot performs no allocations (the zero-alloc contract
+// extends to the sharded loop; see alloc_test.go).
+type shardEng struct {
+	s       *sim
+	p       int
+	bounds  []int32 // p+1 node-range bounds, contiguous ascending
+	shardOf []int8  // node -> owning shard
+
+	sh []shardState
+
+	// Affected-set screen. affCur is this slot's A; affNext accumulates
+	// next slot's candidates during phase T (atomic bit sets; any shard
+	// may flag any node).
+	affCur, affNext bitset
+	// peerSet[(e*n+j)*dstWords ...] is the per-slot scheduled-peer
+	// membership bitmap: bit f set iff f is a peer of j in slot e. The
+	// screen probes it to test "would this pushed cell matter to j".
+	peerSet bitset
+	// occIdx[(e*n+node)*uplinks+u] is how many earlier uplinks of the same
+	// row name the same peer (VOQ peek depth for the screen); maxDup is the
+	// schedule-wide maximum pair multiplicity per slot.
+	occIdx []uint8
+	maxDup int
+
+	// Early-break bookkeeping for the post-sweep upIdle correction:
+	// visitedSlot[j] stamps the slot phase T visited j; breakU[j] is the
+	// uplink where the early break fired (== uplinks if none).
+	visitedSlot []int64
+	breakU      []int16
+	// Receivers of same-slot pushes from lower-id producers (excluding
+	// A-members, which are handled live), stamped per slot.
+	pushedSlot []int64
+	touched    []int32
+
+	coordCells []int64 // per shard: cells its nodes sent in the sweep
+
+	// Sweep cursor over the concatenated shard logs.
+	curLog, curIdx int
+
+	// Epoch-phase shared state.
+	reqLog    []reqEnt
+	demandOff []int32 // per node: offset of its demand slice
+	demandLen []int32
+	totals    []int32              // ModeIdeal: per-node VOQ top-up budget
+	gs        [][]congestion.Grant // grant-delivery phase input
+
+	// Phase parameters, set by the coordinator before dispatch.
+	eCur, eNext int
+	screenE     int
+	screenDst   bitset
+	deliverAt   simtime.Time
+	doScreen    bool
+	curSlot     int64
+
+	demandOfFn func(int) []int
+	emitReqFn  func(via, dst, src int32)
+
+	ch      []chan int
+	wg      sync.WaitGroup
+	started bool
+}
+
+// Phase ids.
+const (
+	phT = iota
+	phScreen
+	phDemand
+	phScatter
+	phGrants
+	phDirect
+	phIdealTotals
+)
+
+// buildOccIdx computes, for every (slot, node, uplink) schedule entry,
+// how many earlier uplinks of the same row name the same peer — i.e. how
+// many cells of the pair's queues this row can already have consumed when
+// the entry's turn comes. Rotor schedules with a non-integral uplink
+// multiplier routinely connect a pair twice per slot (the paper's 1.5×
+// expansion does), so the screen peeks at VOQ depth occIdx[entry] rather
+// than assuming the head. Also returns the largest multiplicity seen, the
+// bound on how many extra cells the serial sweep can pop from one pair in
+// one slot.
+func buildOccIdx(dstTable []int32, n, uplinks, epochE int) (occ []uint8, maxDup int) {
+	occ = make([]uint8, len(dstTable))
+	maxDup = 1
+	seen := make([]int32, n)
+	for i := range seen {
+		seen[i] = -1
+	}
+	count := make([]uint8, n)
+	token := int32(-1)
+	for e := 0; e < epochE; e++ {
+		for node := 0; node < n; node++ {
+			token++
+			base := (e*n + node) * uplinks
+			row := dstTable[base : base+uplinks]
+			for u, d := range row {
+				if d < 0 || int(d) == node {
+					continue
+				}
+				if seen[d] != token {
+					seen[d] = token
+					count[d] = 0
+				}
+				occ[base+u] = count[d]
+				count[d]++
+				if int(count[d]) > maxDup {
+					maxDup = int(count[d])
+				}
+			}
+		}
+	}
+	return occ, maxDup
+}
+
+func newShardEng(s *sim, p int) *shardEng {
+	n := s.n
+	eng := &shardEng{
+		s:           s,
+		p:           p,
+		bounds:      make([]int32, p+1),
+		shardOf:     make([]int8, n),
+		sh:          make([]shardState, p),
+		affCur:      newBitset(n),
+		affNext:     newBitset(n),
+		peerSet:     make(bitset, s.epochE*n*s.dstWords),
+		visitedSlot: make([]int64, n),
+		breakU:      make([]int16, n),
+		pushedSlot:  make([]int64, n),
+		coordCells:  make([]int64, p),
+		demandOff:   make([]int32, n),
+		demandLen:   make([]int32, n),
+		ch:          make([]chan int, p),
+	}
+	base, rem := n/p, n%p
+	for k := 0; k < p; k++ {
+		size := base
+		if k < rem {
+			size++
+		}
+		eng.bounds[k+1] = eng.bounds[k] + int32(size)
+		for v := eng.bounds[k]; v < eng.bounds[k+1]; v++ {
+			eng.shardOf[v] = int8(k)
+		}
+	}
+	for k := range eng.sh {
+		eng.sh[k].upTx = make([]int64, s.uplinks)
+		eng.sh[k].upIdle = make([]int64, s.uplinks)
+	}
+	for e := 0; e < s.epochE; e++ {
+		for node := 0; node < n; node++ {
+			row := s.dstTable[(e*n+node)*s.uplinks : (e*n+node+1)*s.uplinks]
+			pr := eng.peerSet[(e*n+node)*s.dstWords : (e*n+node+1)*s.dstWords]
+			for _, d := range row {
+				if d >= 0 && int(d) != node {
+					pr.set(int(d))
+				}
+			}
+		}
+	}
+	eng.occIdx, eng.maxDup = buildOccIdx(s.dstTable, n, s.uplinks, s.epochE)
+	if s.cfg.Mode == ModeIdeal {
+		eng.totals = make([]int32, n)
+	}
+	// Prebuilt closures so the steady-state epoch path allocates nothing.
+	eng.demandOfFn = func(node int) []int {
+		st := &eng.sh[eng.shardOf[node]]
+		off := eng.demandOff[node]
+		return st.demandFlat[off : off+eng.demandLen[node]]
+	}
+	eng.emitReqFn = func(via, dst, src int32) {
+		eng.reqLog = append(eng.reqLog, reqEnt{via: via, dst: dst, src: src})
+	}
+	return eng
+}
+
+func (eng *shardEng) start() {
+	if eng.started {
+		return
+	}
+	eng.started = true
+	for k := 1; k < eng.p; k++ {
+		eng.ch[k] = make(chan int, 1)
+		go eng.worker(k)
+	}
+}
+
+func (eng *shardEng) stop() {
+	if !eng.started {
+		return
+	}
+	eng.started = false
+	for k := 1; k < eng.p; k++ {
+		close(eng.ch[k])
+	}
+}
+
+func (eng *shardEng) worker(k int) {
+	for ph := range eng.ch[k] {
+		eng.exec(ph, k)
+		eng.wg.Done()
+	}
+}
+
+// runPhase executes one parallel phase on every shard (the coordinator
+// doubles as shard 0) and barriers.
+func (eng *shardEng) runPhase(ph int) {
+	eng.wg.Add(eng.p - 1)
+	for k := 1; k < eng.p; k++ {
+		eng.ch[k] <- ph
+	}
+	eng.exec(ph, 0)
+	eng.wg.Wait()
+}
+
+func (eng *shardEng) exec(ph, k int) {
+	switch ph {
+	case phT:
+		eng.phaseT(k)
+	case phScreen:
+		eng.screenShard(k, eng.screenE, eng.screenDst, false)
+	case phDemand:
+		eng.phaseDemand(k)
+	case phScatter:
+		eng.phaseScatter(k)
+	case phGrants:
+		eng.phaseGrants(k)
+	case phDirect:
+		eng.phaseDirect(k)
+	case phIdealTotals:
+		eng.phaseIdealTotals(k)
+	}
+}
+
+// mergeStats folds the per-shard accumulators into the sim's serial
+// counters before telemetry flush, and publishes per-shard cell counts.
+func (eng *shardEng) mergeStats() {
+	s := eng.s
+	for k := range eng.sh {
+		st := &eng.sh[k]
+		for u := range st.upTx {
+			s.upTx[u] += st.upTx[u]
+			s.upIdle[u] += st.upIdle[u]
+		}
+		s.grantsIssued += st.grantsIssued
+		s.grantsUnused += st.grantsUnused
+		statShardCells[k].Add(st.cells + eng.coordCells[k])
+	}
+}
+
+// stepSharded is step for the sharded engine: epoch boundary (with its
+// own parallel sub-phases) and current-slot screen when e == 0, then
+// phase T in parallel, then the serial sweep.
+func (s *sim) stepSharded(e int, deliverAt simtime.Time) {
+	eng := s.sh
+	eng.curSlot++
+	if e == 0 {
+		s.epochBoundarySharded()
+		// The epoch phases push VOQs, so any screen computed last slot is
+		// stale: recompute this slot's affected set from scratch.
+		for i := range eng.affCur {
+			eng.affCur[i] = 0
+		}
+		eng.screenE = 0
+		eng.screenDst = eng.affCur
+		eng.runPhase(phScreen)
+	}
+	eNext := e + 1
+	if eNext == s.epochE {
+		eNext = 0
+	}
+	// Next slot's screen rides along in phase T — except into an epoch
+	// boundary, which re-screens anyway.
+	eng.doScreen = eNext != 0
+	eng.eCur, eng.eNext, eng.deliverAt = e, eNext, deliverAt
+	for i := range eng.affNext {
+		eng.affNext[i] = 0
+	}
+	eng.runPhase(phT)
+	s.shardSweep(e, deliverAt)
+	eng.affCur, eng.affNext = eng.affNext, eng.affCur
+}
+
+// phaseT processes shard k's non-affected active nodes, then screens its
+// nodes' VOQ heads for next slot's affected set.
+func (eng *shardEng) phaseT(k int) {
+	s := eng.s
+	st := &eng.sh[k]
+	lo, hi := int(eng.bounds[k]), int(eng.bounds[k+1])
+	row := s.dstTable[eng.eCur*s.n*s.uplinks : (eng.eCur+1)*s.n*s.uplinks]
+	aff := eng.affCur
+	for node := s.workActive.nextIn(lo, hi); node >= 0; node = s.workActive.nextIn(node+1, hi) {
+		if aff.has(node) {
+			continue // decision-coupled: the serial sweep runs it
+		}
+		eng.nodeT(node, row, st)
+	}
+	if eng.doScreen {
+		eng.screenShard(k, eng.eNext, eng.affNext, true)
+	}
+}
+
+// nodeT is nodeStep for phase T: own-row state commits live, cross-node
+// effects go to the shard's event log in serial operation order.
+func (eng *shardEng) nodeT(node int, row []int32, st *shardState) {
+	s := eng.s
+	uplinks := s.uplinks
+	nodeRow := row[node*uplinks : (node+1)*uplinks]
+	base := node * s.n
+	eng.visitedSlot[node] = eng.curSlot
+	eng.breakU[node] = int16(uplinks)
+	for u := 0; u < uplinks; u++ {
+		dst := int(nodeRow[u])
+		if dst < 0 || dst == node {
+			continue
+		}
+		if !s.txActive.hasAtomic(base + dst) {
+			st.upIdle[u]++
+			continue
+		}
+		eng.transmitT(node, dst, st)
+		st.upTx[u]++
+		if s.workCells[node] == 0 {
+			eng.breakU[node] = int16(u)
+			break
+		}
+	}
+}
+
+// transmitT mirrors sim.transmit. Live: the node's own queues, bits,
+// work account, forwarded-side congestion row and ideal-queue row.
+// Logged: deliveries, arrivals and pushes (anything touching another
+// node's row or global accounting).
+func (eng *shardEng) transmitT(node, dst int, st *shardState) {
+	s := eng.s
+	idx := node*s.n + dst
+	fw, vq := &s.fwdq[idx], &s.voq[idx]
+	useFwd := !fw.empty()
+	if useFwd && !vq.empty() {
+		useFwd = s.tieBreak[idx]
+		s.tieBreak[idx] = !s.tieBreak[idx]
+	}
+	switch {
+	case useFwd:
+		st.cells++
+		ref := fw.pop(&st.ar64)
+		if fw.empty() && vq.empty() {
+			s.txActive.clearAtomic(idx)
+		}
+		eng.workDecSh(node)
+		if s.cc != nil {
+			s.cc.OnCellForwarded(node, dst)
+		}
+		if s.idealQ != nil {
+			s.idealQ[idx]--
+		}
+		st.ev = append(st.ev, shEvent{key: int32(node), kind: evFwd, ref: ref})
+	case !vq.empty():
+		st.cells++
+		ref := vq.pop(&st.ar64)
+		if vq.empty() && fw.empty() {
+			s.txActive.clearAtomic(idx)
+		}
+		eng.workDecSh(node)
+		flow, _ := unpackRef(ref)
+		final := int(s.flows[flow].Dst)
+		if dst == final {
+			st.ev = append(st.ev, shEvent{key: int32(node), kind: evDirect, dst: int32(dst), ref: ref})
+		} else {
+			st.ev = append(st.ev, shEvent{key: int32(node), kind: evPush,
+				dst: int32(dst), final: int32(final), ref: ref})
+		}
+	}
+}
+
+func (eng *shardEng) workDecSh(node int) {
+	s := eng.s
+	s.workCells[node]--
+	if s.workCells[node] == 0 {
+		s.workActive.clearAtomic(node)
+	}
+}
+
+func (eng *shardEng) workIncSh(node int) {
+	s := eng.s
+	if s.workCells[node] == 0 {
+		s.workActive.setAtomic(node)
+	}
+	s.workCells[node]++
+}
+
+// screenShard flags next-affected candidates from shard k's VOQ fronts: a
+// receiver j > i whose slot-e matching edge (i, j) would carry a cell
+// destined for one of j's own slot-e peers. A pair can be matched several
+// times in one slot (rotor schedules with the 1.5× uplink expansion do
+// this routinely), so the t-th occurrence of an edge screens the cell at
+// VOQ depth t (occIdx). For affected producers the serial sweep may still
+// pop up to maxDup cells per pair before this screen's slot arrives, so
+// maxDup further cells are screened too (conservative: A may only grow).
+func (eng *shardEng) screenShard(k, e int, dst bitset, extraForAff bool) {
+	s := eng.s
+	n, uplinks, words := s.n, s.uplinks, s.dstWords
+	lo, hi := int(eng.bounds[k]), int(eng.bounds[k+1])
+	row := s.dstTable[e*n*uplinks : (e+1)*n*uplinks]
+	occ := eng.occIdx[e*n*uplinks : (e+1)*n*uplinks]
+	for node := s.workActive.nextIn(lo, hi); node >= 0; node = s.workActive.nextIn(node+1, hi) {
+		nodeRow := row[node*uplinks : (node+1)*uplinks]
+		nodeOcc := occ[node*uplinks : (node+1)*uplinks]
+		base := node * n
+		extra := 0
+		if extraForAff && eng.affCur.has(node) {
+			extra = eng.maxDup
+		}
+		for u := 0; u < uplinks; u++ {
+			j := int(nodeRow[u])
+			if j <= node {
+				continue // only ascending edges push same-slot-visibly
+			}
+			q := &s.voq[base+j]
+			t := int(nodeOcc[u])
+			hiDepth := t + extra
+			if l := q.len(); hiDepth >= l {
+				hiDepth = l - 1
+			}
+			if t > hiDepth {
+				continue // queue shorter than this occurrence's depth
+			}
+			pr := eng.peerSet[(e*n+j)*words : (e*n+j+1)*words]
+			for depth := t; depth <= hiDepth; depth++ {
+				flow, _ := unpackRef(q.items[q.head+depth])
+				if f := int(s.flows[flow].Dst); f != j && pr.has(f) {
+					dst.setAtomic(j)
+					break
+				}
+			}
+		}
+	}
+}
+
+// shardSweep is the serial half of the slot: it replays the deferred
+// events in producer order, interleaving affected nodes at their exact
+// positions with the serial per-node code, then applies the early-break
+// idle corrections for nodes the pushes would have kept (or made) active.
+func (s *sim) shardSweep(e int, deliverAt simtime.Time) {
+	eng := s.sh
+	eng.curLog, eng.curIdx = 0, 0
+	row := s.dstTable[e*s.n*s.uplinks : (e+1)*s.n*s.uplinks]
+	for j := eng.affCur.next(0); j >= 0; j = eng.affCur.next(j + 1) {
+		eng.applyUntil(int32(j), deliverAt)
+		if s.workCells[j] > 0 {
+			before := s.txCells
+			s.nodeStep(j, row, deliverAt)
+			eng.coordCells[eng.shardOf[j]] += s.txCells - before
+		}
+	}
+	eng.applyUntil(int32(s.n), deliverAt)
+
+	// Early-break corrections: a non-affected receiver of a push from a
+	// lower-id producer would, serially, have stayed (or become) active
+	// at its visit — but since none of the pushed finals are scheduled
+	// peers (else it would be affected), every extra uplink it would
+	// have walked is an idle. Replay those idles.
+	uplinks := s.uplinks
+	for _, r32 := range eng.touched {
+		r := int(r32)
+		nodeRow := row[r*uplinks : (r+1)*uplinks]
+		u0 := 0
+		if eng.visitedSlot[r] == eng.curSlot {
+			bu := int(eng.breakU[r])
+			if bu >= uplinks {
+				continue // no early break: nothing was skipped
+			}
+			u0 = bu + 1
+		}
+		for u := u0; u < uplinks; u++ {
+			if d := int(nodeRow[u]); d >= 0 && d != r {
+				s.upIdle[u]++
+			}
+		}
+	}
+	eng.touched = eng.touched[:0]
+	for k := range eng.sh {
+		eng.sh[k].ev = eng.sh[k].ev[:0]
+	}
+}
+
+// applyUntil applies logged events with key < limit, in key order.
+func (eng *shardEng) applyUntil(limit int32, deliverAt simtime.Time) {
+	for eng.curLog < eng.p {
+		log := eng.sh[eng.curLog].ev
+		for eng.curIdx < len(log) {
+			ev := &log[eng.curIdx]
+			if ev.key >= limit {
+				return
+			}
+			eng.applyEvent(ev, deliverAt)
+			eng.curIdx++
+		}
+		eng.curLog++
+		eng.curIdx = 0
+	}
+}
+
+// noteSweepPush is called by the serial transmit when an affected node,
+// replayed via nodeStep during the sweep, forward-pushes into another
+// node. Those pushes bypass the event log, but an ascending push into a
+// non-affected receiver still extends (or creates) the receiver's serial
+// visit, so it must enter the idle-correction set exactly like the
+// logged pushes in applyEvent do.
+func (eng *shardEng) noteSweepPush(node, dst int) {
+	if node < dst && !eng.affCur.has(dst) && eng.pushedSlot[dst] != eng.curSlot {
+		eng.pushedSlot[dst] = eng.curSlot
+		eng.touched = append(eng.touched, int32(dst))
+	}
+}
+
+func (eng *shardEng) applyEvent(ev *shEvent, deliverAt simtime.Time) {
+	s := eng.s
+	switch ev.kind {
+	case evFwd:
+		s.queueGauge[ev.key].Add(-1)
+		s.deliver(ev.ref, deliverAt.Add(s.hop2))
+	case evDirect:
+		dst := int(ev.dst)
+		if s.cc != nil {
+			s.cc.OnCellArrived(dst, dst)
+		}
+		s.direct++
+		if s.idealQ != nil {
+			s.idealQ[dst*s.n+dst]--
+		}
+		s.deliver(ev.ref, deliverAt.Add(s.hop2))
+	case evPush:
+		dst, final := int(ev.dst), int(ev.final)
+		if s.cc != nil {
+			s.cc.OnCellArrived(dst, final)
+		}
+		fi := dst*s.n + final
+		s.fwdq[fi].push(ev.ref, &s.ar64)
+		s.txActive.set(fi)
+		s.workInc(dst)
+		s.queueGauge[dst].Add(1)
+		if ev.key < ev.dst && !eng.affCur.has(dst) {
+			if eng.pushedSlot[dst] != eng.curSlot {
+				eng.pushedSlot[dst] = eng.curSlot
+				eng.touched = append(eng.touched, ev.dst)
+			}
+		}
+	}
+}

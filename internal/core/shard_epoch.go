@@ -1,0 +1,276 @@
+package core
+
+// Sharded epoch boundary. The profile at n=1024 puts most of an epoch's
+// cost in three places: the per-source demand enumeration, registering
+// the issued requests into the per-intermediate request sets, and
+// delivering grants into VOQs. All three partition cleanly (by source,
+// by intermediate, by source); only the RNG-bearing skeleton — request
+// issue and grant picks — stays serial, which is what keeps the draw
+// sequence, and therefore every fixed-seed result, byte-identical to the
+// serial engine (see congestion.IssueRequestsEmit).
+
+func (s *sim) epochBoundarySharded() {
+	eng := s.sh
+	switch s.cfg.Mode {
+	case ModeRequestGrant:
+		// Demand content is unaffected by anything the boundary itself
+		// does (grant delivery consumes LOCAL cells only after the serial
+		// reference evaluated demand too), so it is precomputed up front,
+		// in parallel by source ownership.
+		eng.runPhase(phDemand)
+		cc := s.cc
+		if cc.InstantEnabled() {
+			// Serial reference order: issue, process, deliver.
+			eng.reqLog = eng.reqLog[:0]
+			cc.IssueRequestsEmit(eng.demandOfFn, eng.emitReqFn)
+			eng.runPhase(phScatter)
+			cc.ProcessRequestsPhase()
+			eng.gs = cc.SwapGrantedPhase()
+			eng.runPhase(phGrants)
+			eng.applyUnused()
+		} else {
+			// Serial reference order: deliver, process, issue. Grant
+			// delivery is hoisted before issue — legal because issue
+			// reads only the (precomputed) demand and the RNG, neither of
+			// which delivery touches.
+			eng.gs = cc.SwapGrantedPhase()
+			cc.ProcessRequestsPhase()
+			eng.runPhase(phGrants)
+			eng.applyUnused()
+			eng.reqLog = eng.reqLog[:0]
+			cc.IssueRequestsEmit(eng.demandOfFn, eng.emitReqFn)
+			eng.runPhase(phScatter)
+		}
+	case ModeDirect:
+		eng.runPhase(phDirect)
+	case ModeIdeal:
+		// The O(n) per-node VOQ budget scans move off the serial path;
+		// the pulls themselves stay serial (they share the idealQ
+		// back-pressure state across nodes in rotating order) but consume
+		// the precomputed budgets.
+		eng.runPhase(phIdealTotals)
+		s.idealPullAllSh()
+	}
+	s.epoch++
+}
+
+// phaseDemand precomputes every owned node's request demand into the
+// shard's flat buffer, replicating demand()'s enumeration (including the
+// demandStart bump for idle nodes) exactly.
+func (eng *shardEng) phaseDemand(k int) {
+	s := eng.s
+	st := &eng.sh[k]
+	st.demandFlat = st.demandFlat[:0]
+	cands, counts := st.demandCands, st.demandCounts
+	lo, hi := int(eng.bounds[k]), int(eng.bounds[k+1])
+	for node := lo; node < hi; node++ {
+		off := len(st.demandFlat)
+		st.demandFlat, cands, counts = s.demandScan(node, st.demandFlat, cands[:0], counts[:0])
+		eng.demandOff[node] = int32(off)
+		eng.demandLen[node] = int32(len(st.demandFlat) - off)
+	}
+	st.demandCands, st.demandCounts = cands, counts
+}
+
+// phaseScatter registers the serially emitted requests, partitioned by
+// intermediate ownership; within one via the log scan preserves emission
+// order, which the request sets' determinism requires.
+func (eng *shardEng) phaseScatter(k int) {
+	s := eng.s
+	lo, hi := eng.bounds[k], eng.bounds[k+1]
+	for i := range eng.reqLog {
+		r := &eng.reqLog[i]
+		if r.via >= lo && r.via < hi {
+			s.cc.ApplyRequest(r.via, r.dst, r.src)
+		}
+	}
+}
+
+// phaseGrants delivers this epoch's grants for the shard's sources:
+// consume from LOCAL, push to the granted VOQ, account. Releasing grants
+// whose LOCAL queue drained touches the intermediate's row, so those are
+// logged and applied serially after the barrier (applyUnused) — the
+// release is commutative, only its memory ownership isn't.
+func (eng *shardEng) phaseGrants(k int) {
+	s := eng.s
+	st := &eng.sh[k]
+	lo, hi := int(eng.bounds[k]), int(eng.bounds[k+1])
+	for src := lo; src < hi; src++ {
+		for _, g := range eng.gs[src] {
+			st.grantsIssued++
+			if s.byDst[g.Src*s.n+g.Dst].empty() {
+				st.unused = append(st.unused, uint64(g.Via)<<32|uint64(uint32(g.Dst)))
+				st.grantsUnused++
+				continue
+			}
+			ref := eng.consumeSh(g.Src, g.Dst, &st.ar32)
+			eng.voqPushSh(g.Src*s.n+g.Via, ref, &st.ar64)
+			eng.workIncSh(g.Src)
+		}
+	}
+}
+
+func (eng *shardEng) applyUnused() {
+	for k := range eng.sh {
+		st := &eng.sh[k]
+		for _, packed := range st.unused {
+			eng.s.cc.OnGrantUnused(int(packed>>32), int(uint32(packed)))
+		}
+		st.unused = st.unused[:0]
+	}
+}
+
+// phaseDirect is the ModeDirect boundary for the shard's nodes: purely
+// node-local, so it parallelizes exactly.
+func (eng *shardEng) phaseDirect(k int) {
+	s := eng.s
+	st := &eng.sh[k]
+	lo, hi := int(eng.bounds[k]), int(eng.bounds[k+1])
+	for node := s.localActive.nextIn(lo, hi); node >= 0; node = s.localActive.nextIn(node+1, hi) {
+		base := node * s.n
+		row := s.dstRow(node)
+		for dst := row.next(0); dst >= 0; dst = row.next(dst + 1) {
+			q := &s.byDst[base+dst]
+			for !q.empty() {
+				ref := eng.consumeSh(node, dst, &st.ar32)
+				eng.voqPushSh(base+dst, ref, &st.ar64)
+				eng.workIncSh(node)
+			}
+		}
+	}
+}
+
+// phaseIdealTotals precomputes each owned node's epoch VOQ top-up budget.
+// A node's VOQ row is only ever pushed by its own pull, so budgets read
+// before any pull equal the budgets the serial code computes at the
+// node's own turn.
+func (eng *shardEng) phaseIdealTotals(k int) {
+	s := eng.s
+	lo, hi := int(eng.bounds[k]), int(eng.bounds[k+1])
+	kk := s.k
+	for node := s.localActive.nextIn(lo, hi); node >= 0; node = s.localActive.nextIn(node+1, hi) {
+		base := node * s.n
+		total := 0
+		for via := 0; via < s.n; via++ {
+			if via == node {
+				continue
+			}
+			if b := kk - s.voq[base+via].len(); b > 0 {
+				total += b
+			}
+		}
+		eng.totals[node] = int32(total)
+	}
+}
+
+// idealPullAllSh runs the serial pulls in the serial rotating order,
+// consuming the precomputed budgets.
+func (s *sim) idealPullAllSh() {
+	start := int(s.epoch % int64(s.n))
+	for node := s.localActive.next(start); node >= 0; node = s.localActive.next(node + 1) {
+		s.idealPullSh(node)
+	}
+	for node := s.localActive.next(0); node >= 0 && node < start; node = s.localActive.next(node + 1) {
+		s.idealPullSh(node)
+	}
+}
+
+// idealPullSh is idealPull with the per-via budget derived on the fly
+// from VOQ occupancy (budget ≡ k − len, kept in sync automatically by the
+// pushes) instead of the serial scratch array; the candidate rotation,
+// pull order and back-pressure tests are identical.
+func (s *sim) idealPullSh(node int) {
+	if s.localCount[node] == 0 {
+		return
+	}
+	total := int(s.sh.totals[node])
+	if total == 0 {
+		return
+	}
+	base := node * s.n
+	cands := s.cands[:0]
+	start := s.rrDst[node] % s.n
+	s.rrDst[node]++
+	row := s.dstRow(node)
+	for d := row.next(start); d >= 0; d = row.next(d + 1) {
+		cands = append(cands, int32(d))
+	}
+	for d := row.next(0); d >= 0 && d < start; d = row.next(d + 1) {
+		cands = append(cands, int32(d))
+	}
+	for total > 0 && len(cands) > 0 {
+		w := 0
+		for _, d32 := range cands {
+			d := int(d32)
+			via, ok := s.findViaSh(node, d)
+			if !ok {
+				continue
+			}
+			s.voqPush(base+via, s.consume(node, d))
+			s.workInc(node)
+			s.idealQ[via*s.n+d]++
+			total--
+			if total == 0 {
+				break
+			}
+			if !s.byDst[base+d].empty() {
+				cands[w] = d32
+				w++
+			}
+		}
+		if w == 0 {
+			break
+		}
+		cands = cands[:w]
+	}
+	s.cands = cands[:0]
+}
+
+// findViaSh is findVia with the budget test k−len(voq) ≤ 0 replacing the
+// scratch-array countdown — equivalent because pushes grow len in
+// lockstep with the serial decrement.
+func (s *sim) findViaSh(node, d int) (int, bool) {
+	ptr := int(s.viaPtr[node*s.n+d])
+	failed := s.failed
+	noDirect := s.cfg.NoDirect
+	base := node * s.n
+	for j := 0; j < s.n; j++ {
+		via := (ptr + j) % s.n
+		if via == node || s.k-s.voq[base+via].len() <= 0 ||
+			(failed != nil && failed[via]) || (noDirect && via == d) {
+			continue
+		}
+		if via != d && s.idealQ[via*s.n+d] >= s.qk {
+			continue
+		}
+		s.viaPtr[node*s.n+d] = int32(via + 1)
+		return via, true
+	}
+	return 0, false
+}
+
+// consumeSh is consume with an atomic node-active clear (the word is
+// shared across shards) and the shard's own arena.
+func (eng *shardEng) consumeSh(node, dst int, a *arena[int32]) int64 {
+	s := eng.s
+	q := &s.byDst[node*s.n+dst]
+	f := q.pop(a)
+	if q.empty() {
+		s.dstRow(node).clear(dst)
+	}
+	s.localCount[node]--
+	if s.localCount[node] == 0 {
+		s.localActive.clearAtomic(node)
+	}
+	seq := s.consumed[f]
+	s.consumed[f]++
+	return cellRef(f, seq)
+}
+
+// voqPushSh is voqPush with an atomic pair-active set and the shard's
+// own arena.
+func (eng *shardEng) voqPushSh(idx int, ref int64, a *arena[int64]) {
+	s := eng.s
+	s.voq[idx].push(ref, a)
+	s.txActive.setAtomic(idx)
+}
