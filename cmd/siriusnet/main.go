@@ -16,6 +16,12 @@
 // -flip injects per-bit corruption (emulating operation below receiver
 // sensitivity); the PRBS checkers must detect exactly that rate.
 //
+// Output batching: the emulator coalesces routed frames into one write
+// per output port (-batch frames, -batch-bytes budget, -flush-interval
+// idle deadline; zeros keep the defaults, -batch 1 restores per-frame
+// writes). Coalescing only changes syscall boundaries — every counter,
+// corruption decision and failure timeline is identical either way.
+//
 // Observability: -telemetry ADDR serves live /metrics (Prometheus text),
 // /healthz (degraded while a failure is suspected, healthy once the
 // fabric compacts) and /debug/vars for the duration of the run;
@@ -56,6 +62,10 @@ func main() {
 		id      = flag.Int("id", 0, "node id for -role node")
 		listen  = flag.String("listen", ":9000", "listen address for -role awgr")
 		connect = flag.String("connect", "127.0.0.1:9000", "emulator address for -role node")
+
+		batch         = flag.Int("batch", 0, "emulator output batching: frames to coalesce per write (0 = default policy, 1 = per-frame writes)")
+		batchBytes    = flag.Int("batch-bytes", 0, "emulator output batching: byte budget per coalesced write (0 = default)")
+		flushInterval = flag.Duration("flush-interval", 0, "emulator output batching: idle flush interval (0 = default)")
 
 		planPath  = flag.String("faultplan", "", "JSON fault plan to inject (internal/fault format)")
 		killNode  = flag.Int("kill-node", -1, "shorthand: fail-stop this node...")
@@ -124,6 +134,9 @@ func main() {
 			fmt.Fprintf(os.Stderr, "siriusnet: %v\n", err)
 			os.Exit(1)
 		}
+		if *batch != 0 || *batchBytes != 0 || *flushInterval != 0 {
+			em.SetBatching(*batch, *batchBytes, *flushInterval)
+		}
 		em.Instrument(reg, health)
 		fmt.Printf("AWGR emulator: %d ports on %s (flip %g)\n", *nodes, em.Addr(), *flip)
 		if err := em.Serve(); err != nil {
@@ -167,15 +180,18 @@ func main() {
 	}
 
 	fs, err := wire.RunPrototypeCfg(wire.PrototypeConfig{
-		Nodes:        *nodes,
-		Epochs:       *epochs,
-		PayloadBytes: *payload,
-		FlipProb:     *flip,
-		Seed:         *seed,
-		Plan:         plan,
-		Telemetry:    reg,
-		Health:       health,
-		Tracer:       tracer,
+		Nodes:         *nodes,
+		Epochs:        *epochs,
+		PayloadBytes:  *payload,
+		FlipProb:      *flip,
+		Seed:          *seed,
+		Plan:          plan,
+		BatchFrames:   *batch,
+		BatchBytes:    *batchBytes,
+		FlushInterval: *flushInterval,
+		Telemetry:     reg,
+		Health:        health,
+		Tracer:        tracer,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "siriusnet: %v\n", err)

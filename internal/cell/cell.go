@@ -104,8 +104,21 @@ func (c *Cell) Encode(buf []byte) []byte {
 }
 
 // Decode parses one cell from the front of buf, returning the cell and the
-// number of bytes consumed.
+// number of bytes consumed. The returned Payload is an owned copy,
+// independent of buf; use DecodeAlias to avoid the copy.
 func Decode(buf []byte) (Cell, int, error) {
+	c, n, err := DecodeAlias(buf)
+	if err == nil && c.Payload != nil {
+		c.Payload = append([]byte(nil), c.Payload...)
+	}
+	return c, n, err
+}
+
+// DecodeAlias decodes a cell whose Payload aliases buf directly — no
+// copy, no allocation. The caller must be done with the cell before it
+// overwrites or reuses buf; receive hot paths that verify the payload
+// in place and move on (wire.node) use this to stay zero-alloc.
+func DecodeAlias(buf []byte) (Cell, int, error) {
 	if len(buf) < HeaderLen {
 		return Cell{}, 0, fmt.Errorf("%w: short header (%d bytes)", ErrBadCell, len(buf))
 	}
@@ -130,7 +143,7 @@ func Decode(buf []byte) (Cell, int, error) {
 		Seq:   binary.BigEndian.Uint32(buf[12:]),
 	}
 	if payLen > 0 {
-		c.Payload = append([]byte(nil), buf[HeaderLen:HeaderLen+int(payLen)]...)
+		c.Payload = buf[HeaderLen : HeaderLen+int(payLen)]
 	}
 	return c, HeaderLen + int(payLen), nil
 }

@@ -13,6 +13,7 @@ package phy
 
 import (
 	"fmt"
+	"math/bits"
 
 	"sirius/internal/simtime"
 )
@@ -233,30 +234,41 @@ func (p *PRBS) NextBit() uint32 {
 	return bit
 }
 
+// nextByte advances the LFSR eight steps at once. The register is
+// linear and the feedback taps sit at bits 30 and 27, so for up to 27
+// consecutive steps every feedback bit is a function of the *original*
+// state alone: bit k (k < 28) is s[30-k] ^ s[27-k]. Packing k = 0..7
+// MSB-first gives the byte ((s>>23) ^ (s>>20)) & 0xff, and because each
+// generated bit is also the bit shifted into the register, the new
+// state is simply (s<<8 | byte) masked to 31 bits. Bit-identical to
+// eight NextBit calls (pinned by TestPRBSFillMatchesBitwise).
+func nextByte(s uint32) (byte, uint32) {
+	b := byte((s >> 23) ^ (s >> 20))
+	return b, ((s << 8) | uint32(b)) & 0x7fffffff
+}
+
 // Fill fills buf with sequence bytes.
 func (p *PRBS) Fill(buf []byte) {
+	s := p.state
 	for i := range buf {
-		var b byte
-		for j := 0; j < 8; j++ {
-			b = b<<1 | byte(p.NextBit())
-		}
-		buf[i] = b
+		buf[i], s = nextByte(s)
 	}
+	p.state = s
 }
 
 // CountErrors compares received data against the expected sequence
-// continuation and returns the number of differing bits.
+// continuation and returns the number of differing bits. It generates
+// the expected bytes on the fly — no scratch buffer, no allocation —
+// so the receive hot path of the wire testbed can call it per cell.
 func (p *PRBS) CountErrors(got []byte) int {
-	want := make([]byte, len(got))
-	p.Fill(want)
+	s := p.state
 	errs := 0
 	for i := range got {
-		x := got[i] ^ want[i]
-		for x != 0 {
-			errs += int(x & 1)
-			x >>= 1
-		}
+		var want byte
+		want, s = nextByte(s)
+		errs += bits.OnesCount8(got[i] ^ want)
 	}
+	p.state = s
 	return errs
 }
 

@@ -1,6 +1,7 @@
 package phy
 
 import (
+	"bytes"
 	"testing"
 	"testing/quick"
 
@@ -154,6 +155,47 @@ func TestPRBSErrorCounting(t *testing.T) {
 	buf2[200] ^= 0x10
 	if errs := rx2.CountErrors(buf2); errs != 3 {
 		t.Errorf("3 flipped bits counted as %d", errs)
+	}
+}
+
+func TestPRBSFillMatchesBitwise(t *testing.T) {
+	// Fill/CountErrors use the 8-steps-at-once LFSR fast path; pin it
+	// bit-identical to the reference NextBit recurrence across seeds
+	// (including the degenerate all-zero / all-one states) and lengths.
+	seeds := []uint32{0, 1, 0xBEEF, 0x7fffffff, 0x40000000, 0x12345678}
+	for _, seed := range seeds {
+		fast := NewPRBS(seed)
+		ref := NewPRBS(seed)
+		for _, n := range []int{1, 7, 64, 562} {
+			got := make([]byte, n)
+			fast.Fill(got)
+			want := make([]byte, n)
+			for i := range want {
+				var b byte
+				for j := 0; j < 8; j++ {
+					b = b<<1 | byte(ref.NextBit())
+				}
+				want[i] = b
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("seed %#x len %d: Fill diverges from NextBit reference", seed, n)
+			}
+			if fast.state != ref.state {
+				t.Fatalf("seed %#x len %d: state diverges (%#x vs %#x)", seed, n, fast.state, ref.state)
+			}
+		}
+	}
+}
+
+func TestPRBSCountErrorsAllocFree(t *testing.T) {
+	p := NewPRBS(7)
+	buf := make([]byte, 562)
+	p.Fill(buf)
+	allocs := testing.AllocsPerRun(100, func() {
+		p.CountErrors(buf)
+	})
+	if allocs != 0 {
+		t.Errorf("CountErrors allocates %.1f times per call, want 0", allocs)
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"sirius/internal/cell"
 	"sirius/internal/fault"
 	"sirius/internal/rng"
+	"sirius/internal/telemetry"
 )
 
 // parkLimit caps the number of frames held for a port that is expected to
@@ -25,6 +26,17 @@ const parkLimit = 4096
 // its 4-byte handshake before being rejected. A client that connects and
 // stalls must not pin emulator resources.
 const handshakeTimeout = 5 * time.Second
+
+// Default write-coalescing policy for the output ports (SetBatching
+// overrides). A batch is flushed as soon as it holds DefaultBatchFrames
+// frames or DefaultBatchBytes bytes, when the contributing input stream
+// momentarily drains (the per-epoch burst boundary), or — for stragglers —
+// by an idle flusher that runs every DefaultFlushInterval.
+const (
+	DefaultBatchFrames   = 16
+	DefaultBatchBytes    = 32 << 10
+	DefaultFlushInterval = 500 * time.Microsecond
+)
 
 // PortError is a structured per-port failure observed by the emulator. One
 // broken port never takes the fabric down; the error is recorded and the
@@ -42,6 +54,43 @@ func (e *PortError) Error() string {
 // Unwrap exposes the underlying error.
 func (e *PortError) Unwrap() error { return e.Err }
 
+// framePool recycles batch/park buffers. Buffers move by ownership
+// transfer: an output port's accumulation blob becomes a parked chunk
+// without copying, and returns to the pool once replayed to a
+// (re)registered connection.
+var framePool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, DefaultBatchBytes+maxFrame+frameHeader)
+		return &b
+	},
+}
+
+// parkedChunk is a sealed blob of coalesced frames awaiting a port's
+// (re)registration. buf is pooled; it is returned to framePool after a
+// successful replay.
+type parkedChunk struct {
+	buf    *[]byte
+	frames int
+}
+
+// outPort is one output port of the grating: the registered connection
+// plus the write-coalescing state in front of it. op.mu serializes all
+// writes to the port, so a stalled reader back-pressures only the inputs
+// currently routing to it — never the rest of the fabric. Lock order:
+// op.mu before e.mu, never the reverse.
+type outPort struct {
+	mu           sync.Mutex
+	conn         net.Conn // nil while the port is absent
+	gen          int      // bumped per (re)registration
+	pending      *[]byte  // pooled accumulation blob (nil when empty)
+	frames       int      // frames coalesced in pending
+	parked       []parkedChunk
+	parkedFrames int    // frames across sealed parked chunks
+	appendSeq    uint64 // bumped per appended frame
+	idleSeq      uint64 // appendSeq at the idle flusher's last visit
+	mayReconnect bool   // cached mayReconnectLocked, refreshed on registration
+}
+
 // Emulator is the AWGR stand-in: a process that accepts one TCP connection
 // per grating port and routes each wavelength-tagged frame to output port
 // (input + wavelength) mod N, exactly the cyclic rule of a physical
@@ -54,23 +103,31 @@ func (e *PortError) Unwrap() error { return e.Err }
 // and per-port write errors are recorded instead of fatal. Serve returns
 // only when the whole fabric has completed — every port registered and
 // every input stream reached its final EOF — or on Close.
+//
+// The data path is zero-copy and batched: each input goroutine decodes
+// frames into a reusable buffer (ReadFrameInto), rewrites the 5-byte
+// header in place, and appends the frame to the destination port's
+// coalescing blob; one conn.Write then carries the whole batch.
 type Emulator struct {
 	ln       net.Listener
 	ports    int
 	flipProb float64
 	plan     *fault.Plan
 
-	mu         sync.Mutex
-	conns      []net.Conn // current connection per port (nil when absent)
-	gen        []int      // per-port connection generation
-	regCount   []int      // how many times the port has registered
-	eofFinal   []bool     // the port's input stream has spoken its last
-	parked     [][][]byte // frames awaiting the port's (re)connection
-	portErrs   []error    // structured per-port failures, in order observed
-	closed     bool       // Close was called
-	completing bool       // fabric completed; shutting down
+	batchFrames   int
+	batchBytes    int
+	flushInterval time.Duration
+	flushQuit     chan struct{}
+	flushStop     sync.Once
 
-	wmu []sync.Mutex // per-output-port write serialization
+	out []outPort
+
+	mu         sync.Mutex
+	regCount   []int   // how many times each port has registered
+	eofFinal   []bool  // the port's input stream has spoken its last
+	portErrs   []error // structured per-port failures, in order observed
+	closed     bool    // Close was called
+	completing bool    // fabric completed; shutting down
 
 	// Per-input-port corruption substreams: rngs[p] is seeded from
 	// PointSeed(seed, p) and consumed in that port's frame order, so bit
@@ -85,6 +142,7 @@ type Emulator struct {
 	dropped     atomic.Int64 // frames lost to dead or over-parked ports
 	greyDropped atomic.Int64 // frames blackholed by Grey fault events
 	rejected    atomic.Int64 // connections refused at handshake
+	parkedPeak  atomic.Int64 // high-water mark of any one port's park queue
 
 	// tel mirrors the counters above into a telemetry registry (the
 	// process Default unless Instrument overrode it) and optionally
@@ -111,6 +169,9 @@ func NewEmulatorFault(addr string, ports int, flipProb float64, seed uint64, pla
 	if ports < 2 {
 		return nil, fmt.Errorf("wire: need >= 2 ports")
 	}
+	if ports > maxPorts {
+		return nil, fmt.Errorf("wire: %d ports exceeds the %d-port wire-format limit (the wavelength and handshake port fields are one byte; see docs/PROTOCOL.md)", ports, maxPorts)
+	}
 	if flipProb < 0 || flipProb >= 1 {
 		return nil, fmt.Errorf("wire: flip probability %v outside [0,1)", flipProb)
 	}
@@ -122,24 +183,44 @@ func NewEmulatorFault(addr string, ports int, flipProb float64, seed uint64, pla
 		return nil, fmt.Errorf("wire: %w", err)
 	}
 	e := &Emulator{
-		ln:       ln,
-		ports:    ports,
-		flipProb: flipProb,
-		plan:     plan,
-		conns:    make([]net.Conn, ports),
-		gen:      make([]int, ports),
-		regCount: make([]int, ports),
-		eofFinal: make([]bool, ports),
-		parked:   make([][][]byte, ports),
-		wmu:      make([]sync.Mutex, ports),
-		rmu:      make([]sync.Mutex, ports),
-		rngs:     make([]*rng.RNG, ports),
+		ln:            ln,
+		ports:         ports,
+		flipProb:      flipProb,
+		plan:          plan,
+		batchFrames:   DefaultBatchFrames,
+		batchBytes:    DefaultBatchBytes,
+		flushInterval: DefaultFlushInterval,
+		flushQuit:     make(chan struct{}),
+		out:           make([]outPort, ports),
+		regCount:      make([]int, ports),
+		eofFinal:      make([]bool, ports),
+		rmu:           make([]sync.Mutex, ports),
+		rngs:          make([]*rng.RNG, ports),
 	}
 	for p := 0; p < ports; p++ {
+		e.out[p].mayReconnect = true // never registered yet
 		e.rngs[p] = rng.New(rng.PointSeed(seed, uint64(p)))
 	}
 	e.tel = newEmuTel(nil, nil, ports)
 	return e, nil
+}
+
+// SetBatching configures the per-output-port write coalescing policy:
+// flush a port's batch once it holds `frames` frames or `bytes` bytes,
+// and let the idle flusher sweep stragglers every `interval`. frames = 1
+// disables coalescing — every routed frame is written immediately, the
+// pre-batching behavior. Non-positive values keep the defaults. Call
+// before Serve.
+func (e *Emulator) SetBatching(frames, bytes int, interval time.Duration) {
+	if frames > 0 {
+		e.batchFrames = frames
+	}
+	if bytes > 0 {
+		e.batchBytes = bytes
+	}
+	if interval > 0 {
+		e.flushInterval = interval
+	}
 }
 
 // Addr returns the listen address.
@@ -160,6 +241,10 @@ func (e *Emulator) GreyDropped() int64 { return e.greyDropped.Load() }
 // Rejected returns the number of connections refused at handshake.
 func (e *Emulator) Rejected() int64 { return e.rejected.Load() }
 
+// ParkedPeak returns the high-water mark of frames parked for any single
+// absent port — how deep the worst park queue ever got.
+func (e *Emulator) ParkedPeak() int64 { return e.parkedPeak.Load() }
+
 // PortErrors returns the structured per-port failures observed so far.
 func (e *Emulator) PortErrors() []error {
 	e.mu.Lock()
@@ -171,21 +256,29 @@ func (e *Emulator) PortErrors() []error {
 // closed and Serve returns nil. Idempotent.
 func (e *Emulator) Close() error {
 	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
 	e.closed = true
-	e.closeAllLocked()
 	e.mu.Unlock()
+	e.stopIdleFlusher()
+	e.ln.Close()
+	for p := range e.out {
+		op := &e.out[p]
+		op.mu.Lock()
+		if op.conn != nil {
+			op.conn.Close()
+			op.conn = nil
+		}
+		op.mu.Unlock()
+	}
 	return nil
 }
 
-// closeAllLocked closes the listener and every registered connection.
-func (e *Emulator) closeAllLocked() {
-	e.ln.Close()
-	for p, c := range e.conns {
-		if c != nil {
-			c.Close()
-			e.conns[p] = nil
-		}
-	}
+// stopIdleFlusher signals the idle flusher to exit. Idempotent.
+func (e *Emulator) stopIdleFlusher() {
+	e.flushStop.Do(func() { close(e.flushQuit) })
 }
 
 // Serve accepts connections and routes frames until the fabric completes
@@ -195,9 +288,12 @@ func (e *Emulator) closeAllLocked() {
 // reason — and the accept loop keeps going: a buggy or malicious client
 // cannot take the fabric down.
 func (e *Emulator) Serve() error {
+	e.wg.Add(1)
+	go e.idleFlusher()
 	for {
 		conn, err := e.ln.Accept()
 		if err != nil {
+			e.stopIdleFlusher()
 			e.wg.Wait()
 			e.mu.Lock()
 			done := e.closed || e.completing
@@ -212,8 +308,36 @@ func (e *Emulator) Serve() error {
 	}
 }
 
+// idleFlusher periodically sweeps the output ports and flushes any batch
+// that has sat unchanged for a whole interval, so a lone frame routed to
+// a quiet port never waits on the batch-size budget. TryLock keeps the
+// sweeper from blocking behind one stalled port.
+func (e *Emulator) idleFlusher() {
+	defer e.wg.Done()
+	t := time.NewTicker(e.flushInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-e.flushQuit:
+			return
+		case <-t.C:
+		}
+		for p := range e.out {
+			op := &e.out[p]
+			if !op.mu.TryLock() {
+				continue
+			}
+			if op.conn != nil && op.frames > 0 && op.appendSeq == op.idleSeq {
+				e.flushLocked(p, op, e.tel.flushIdle)
+			}
+			op.idleSeq = op.appendSeq
+			op.mu.Unlock()
+		}
+	}
+}
+
 // admit performs the handshake on a fresh connection and, on success,
-// registers it and starts routing its frames.
+// registers it, replays any parked frames, and starts routing its input.
 func (e *Emulator) admit(conn net.Conn) {
 	defer e.wg.Done()
 	conn.SetReadDeadline(time.Now().Add(handshakeTimeout))
@@ -232,49 +356,59 @@ func (e *Emulator) admit(conn net.Conn) {
 		return
 	}
 
+	op := &e.out[port]
+	op.mu.Lock()
 	e.mu.Lock()
 	if e.closed || e.completing {
 		e.mu.Unlock()
+		op.mu.Unlock()
 		conn.Close()
 		return
 	}
-	if e.conns[port] != nil && flags&HsReRegister == 0 {
+	if op.conn != nil && flags&HsReRegister == 0 {
 		e.mu.Unlock()
+		op.mu.Unlock()
 		e.reject(conn, port, HsDuplicate, fmt.Errorf("wire: port %d already connected", port))
 		return
 	}
-	if old := e.conns[port]; old != nil {
+	if old := op.conn; old != nil {
 		old.Close() // superseded by the re-registration
 	}
-	e.gen[port]++
-	gen := e.gen[port]
-	e.conns[port] = conn
+	op.gen++
+	gen := op.gen
+	op.conn = conn
 	e.regCount[port]++
 	e.eofFinal[port] = false // a re-registered port speaks again
-	queued := e.parked[port]
-	e.parked[port] = nil
+	op.mayReconnect = e.mayReconnectLocked(port)
 	e.mu.Unlock()
 	e.tel.registered.Inc()
 	e.tel.health.ClearCondition(emuPortKey(port))
 
+	// Reply and replay the park queue while still holding op.mu, so no
+	// freshly routed frame can jump ahead of the backlog.
 	if _, err := conn.Write([]byte{HsOK, uint8(port)}); err != nil {
-		e.writeFailed(port, gen, err, nil)
+		e.retireConnLocked(port, op, &PortError{Port: port, Op: "write", Err: err})
+		op.mu.Unlock()
 		return
 	}
-	if len(queued) > 0 {
-		e.wmu[port].Lock()
-		var werr error
-		for _, f := range queued {
-			if _, werr = conn.Write(f); werr != nil {
-				break
-			}
-		}
-		e.wmu[port].Unlock()
-		if werr != nil {
-			e.writeFailed(port, gen, werr, nil)
+	for len(op.parked) > 0 {
+		ch := op.parked[0]
+		if _, err := conn.Write(*ch.buf); err != nil {
+			e.retireConnLocked(port, op, &PortError{Port: port, Op: "write", Err: err})
+			op.mu.Unlock()
 			return
 		}
+		op.parkedFrames -= ch.frames
+		*ch.buf = (*ch.buf)[:0]
+		framePool.Put(ch.buf)
+		op.parked = op.parked[1:]
 	}
+	if op.frames > 0 {
+		// Frames parked in the live accumulation blob.
+		e.flushLocked(port, op, e.tel.flushRegister)
+	}
+	op.mu.Unlock()
+
 	e.wg.Add(1)
 	go e.routeFrom(port, gen, conn)
 }
@@ -284,8 +418,9 @@ func (e *Emulator) reject(conn net.Conn, port int, status uint8, err error) {
 	e.rejected.Add(1)
 	e.tel.rejected.Inc()
 	e.recordErr(&PortError{Port: port, Op: "handshake", Err: err})
-	conn.SetWriteDeadline(time.Now().Add(handshakeTimeout))
-	conn.Write([]byte{status, 0})
+	if derr := conn.SetWriteDeadline(time.Now().Add(handshakeTimeout)); derr == nil {
+		conn.Write([]byte{status, 0})
+	}
 	conn.Close()
 }
 
@@ -299,81 +434,231 @@ func (e *Emulator) recordErr(pe *PortError) {
 // routeFrom reads frames arriving on input port p and forwards each to
 // output port (p + wavelength) mod N, applying the fault plan's grey
 // drops, BER degradation, and stalls on the way through the grating.
+//
+// The loop owns one reusable frame buffer — ReadFrameInto decodes into
+// it and deliver copies the frame into the destination port's batch, so
+// the steady state allocates nothing. Batches this input contributed to
+// are flushed whenever the input stream momentarily drains (the sender
+// flushes once per epoch, so that is the epoch boundary).
 func (e *Emulator) routeFrom(port, gen int, conn net.Conn) {
 	defer e.wg.Done()
 	br := bufio.NewReaderSize(conn, 64<<10)
-	frame := make([]byte, frameHeader, frameHeader+4096)
+	buf := make([]byte, 0, frameHeader+4096)
+	dirty := make([]bool, e.ports)
+	touched := make([]int, 0, e.ports)
 	for {
-		w, cellBytes, err := ReadFrame(br)
+		w, cellBytes, err := ReadFrameInto(br, &buf)
 		if err != nil {
+			e.flushDirty(dirty, &touched)
 			e.inputDone(port, gen, conn, err)
 			return
 		}
-		e.tel.portFrames[port].Inc()
-		epoch := cellEpoch(cellBytes)
-		if d := e.plan.StallDelay(port, epoch); d > 0 {
-			time.Sleep(d)
+		e.routeOne(port, w, buf[:frameHeader+len(cellBytes)], cellBytes, dirty, &touched)
+		if br.Buffered() == 0 {
+			// Input drained: the epoch burst is over. Flush every batch
+			// this input touched so receivers see their cells now.
+			e.flushDirty(dirty, &touched)
 		}
-		out := (port + int(w)) % e.ports
-		if e.plan.GreyDrop(port, out, epoch) {
-			e.greyDropped.Add(1)
-			e.tel.greyDropped.Inc()
-			continue
-		}
-		if p := e.plan.FlipProb(port, epoch, e.flipProb); p > 0 && len(cellBytes) > cell.HeaderLen {
-			// Corrupt payload bits only: cell headers model the separately
-			// (and more strongly) FEC-protected framing, so epoch numbers
-			// and piggybacked suspicions survive receiver-sensitivity
-			// faults the way the payload does not.
-			e.rmu[port].Lock()
-			flips := corruptPayload(cellBytes[cell.HeaderLen:], p, e.rngs[port])
-			e.rmu[port].Unlock()
-			e.bitsFlipped.Add(flips)
-			if flips > 0 {
-				e.tel.bitsFlipped.Add(flips)
-			}
-		}
-		frame = frame[:frameHeader]
-		binary.BigEndian.PutUint32(frame[:4], uint32(len(cellBytes)))
-		frame[4] = w
-		frame = append(frame, cellBytes...)
-		e.routed.Add(1)
-		e.tel.routed.Inc()
-		e.deliver(out, frame)
 	}
 }
 
-// deliver writes one assembled frame to an output port, parking it if the
-// port is expected but absent, and counting it dropped otherwise.
+// routeOne pushes one decoded frame through the grating: fault-plan
+// effects (stall, grey drop, payload corruption), then delivery into the
+// destination port's batch. frame is the full wire frame and cellBytes
+// aliases its payload; both live in the caller's reusable buffer, valid
+// only until the next read.
+func (e *Emulator) routeOne(port int, w uint8, frame, cellBytes []byte, dirty []bool, touched *[]int) {
+	e.tel.portFrames[port].Inc()
+	epoch := cellEpoch(cellBytes)
+	if d := e.plan.StallDelay(port, epoch); d > 0 {
+		e.flushDirty(dirty, touched)
+		time.Sleep(d)
+	}
+	out := (port + int(w)) % e.ports
+	if e.plan.GreyDrop(port, out, epoch) {
+		e.greyDropped.Add(1)
+		e.tel.greyDropped.Inc()
+		return
+	}
+	if p := e.plan.FlipProb(port, epoch, e.flipProb); p > 0 && len(cellBytes) > cell.HeaderLen {
+		// Corrupt payload bits only: cell headers model the separately
+		// (and more strongly) FEC-protected framing, so epoch numbers
+		// and piggybacked suspicions survive receiver-sensitivity
+		// faults the way the payload does not.
+		e.rmu[port].Lock()
+		flips := corruptPayload(cellBytes[cell.HeaderLen:], p, e.rngs[port])
+		e.rmu[port].Unlock()
+		e.bitsFlipped.Add(flips)
+		if flips > 0 {
+			e.tel.bitsFlipped.Add(flips)
+		}
+	}
+	// Rewrite the header in place (same length, same wavelength — the
+	// AWGR is transparent) rather than rebuilding the frame.
+	binary.BigEndian.PutUint32(frame[:4], uint32(len(cellBytes)))
+	frame[4] = w
+	e.routed.Add(1)
+	e.tel.routed.Inc()
+	e.deliver(out, frame)
+	if !dirty[out] {
+		dirty[out] = true
+		*touched = append(*touched, out)
+	}
+}
+
+// flushDirty flushes the batches of every port in the touched set and
+// clears the set. Ports whose batches were already flushed (size/byte
+// budget, idle sweep) no-op.
+func (e *Emulator) flushDirty(dirty []bool, touched *[]int) {
+	for _, out := range *touched {
+		dirty[out] = false
+		op := &e.out[out]
+		op.mu.Lock()
+		if op.conn != nil && op.frames > 0 {
+			e.flushLocked(out, op, e.tel.flushDrain)
+		}
+		op.mu.Unlock()
+	}
+	*touched = (*touched)[:0]
+}
+
+// deliver appends one assembled frame to an output port's batch (flushing
+// if a budget is hit), parking it if the port is expected but absent, and
+// counting it dropped otherwise. The frame is copied into the batch blob;
+// the caller keeps ownership of its buffer.
 func (e *Emulator) deliver(out int, frame []byte) {
-	e.mu.Lock()
-	conn := e.conns[out]
-	if conn == nil {
-		e.parkOrDropLocked(out, frame)
-		e.mu.Unlock()
+	op := &e.out[out]
+	op.mu.Lock()
+	if op.conn == nil {
+		e.parkFrameLocked(op, frame)
+		op.mu.Unlock()
 		return
 	}
-	gen := e.gen[out]
-	e.mu.Unlock()
-
-	e.wmu[out].Lock()
-	_, err := conn.Write(frame)
-	e.wmu[out].Unlock()
-	if err != nil {
-		e.writeFailed(out, gen, err, frame)
+	if op.frames > 0 {
+		e.tel.coalesced.Inc()
 	}
+	e.appendLocked(op, frame)
+	if op.frames >= e.batchFrames {
+		e.flushLocked(out, op, e.tel.flushBatch)
+	} else if len(*op.pending) >= e.batchBytes {
+		e.flushLocked(out, op, e.tel.flushBytes)
+	}
+	op.mu.Unlock()
 }
 
-// parkOrDropLocked queues a frame for an absent port that is expected to
-// (re)connect, or counts it dropped. Called with e.mu held.
-func (e *Emulator) parkOrDropLocked(out int, frame []byte) {
-	if e.mayReconnectLocked(out) && len(e.parked[out]) < parkLimit {
-		e.parked[out] = append(e.parked[out], append([]byte(nil), frame...))
-		e.tel.parked.Inc()
+// appendLocked copies a frame into the port's accumulation blob, taking a
+// pooled buffer if the port has none. Called with op.mu held.
+func (e *Emulator) appendLocked(op *outPort, frame []byte) {
+	if op.pending == nil {
+		op.pending = framePool.Get().(*[]byte)
+	}
+	*op.pending = append(*op.pending, frame...)
+	op.frames++
+	op.appendSeq++
+}
+
+// flushLocked writes the port's batch in one conn.Write, attributing the
+// flush to cause. On error the connection is retired and the unwritten
+// batch parked (awaiting re-registration) or dropped. Called with op.mu
+// held; the port index is only used for error bookkeeping.
+func (e *Emulator) flushLocked(port int, op *outPort, cause *telemetry.Counter) {
+	if op.frames == 0 || op.conn == nil {
 		return
 	}
-	e.dropped.Add(1)
-	e.tel.dropped.Inc()
+	n := op.frames
+	if _, err := op.conn.Write(*op.pending); err != nil {
+		e.retireConnLocked(port, op, &PortError{Port: port, Op: "write", Err: err})
+		return
+	}
+	*op.pending = (*op.pending)[:0]
+	op.frames = 0
+	cause.Inc()
+	e.tel.batchFrames.Observe(float64(n))
+}
+
+// retireConnLocked tears a port's connection down after a write error:
+// the error is recorded, the connection dropped, and the pending batch
+// parked (if the port is expected back) or counted dropped. The fabric
+// keeps running. Called with op.mu held.
+func (e *Emulator) retireConnLocked(port int, op *outPort, pe *PortError) {
+	if op.conn != nil {
+		op.conn.Close()
+		op.conn = nil
+	}
+	e.mu.Lock()
+	e.portErrs = append(e.portErrs, pe)
+	op.mayReconnect = e.mayReconnectLocked(port)
+	e.mu.Unlock()
+	if op.mayReconnect {
+		// Expected back: the fabric is degraded until it returns.
+		e.tel.health.SetCondition(emuPortKey(port), "write failed; awaiting re-registration")
+	}
+	e.parkPendingLocked(op)
+}
+
+// parkFrameLocked queues one frame for an absent port that is expected to
+// (re)connect, or counts it dropped. Frames accumulate into the pooled
+// blob and seal into parked chunks at the byte budget — no per-frame
+// copy beyond the append itself. Called with op.mu held.
+func (e *Emulator) parkFrameLocked(op *outPort, frame []byte) {
+	if !op.mayReconnect || op.parkedFrames+op.frames >= parkLimit {
+		e.dropped.Add(1)
+		e.tel.dropped.Inc()
+		return
+	}
+	e.appendLocked(op, frame)
+	e.tel.parked.Inc()
+	if len(*op.pending) >= e.batchBytes {
+		e.sealPendingLocked(op)
+	}
+	e.notePark(op)
+}
+
+// parkPendingLocked converts the port's live batch into a parked chunk
+// (ownership transfer, no copy) when the port is expected back, or counts
+// the frames dropped. Called with op.mu held, op.conn nil.
+func (e *Emulator) parkPendingLocked(op *outPort) {
+	if op.frames == 0 {
+		return
+	}
+	if op.mayReconnect && op.parkedFrames+op.frames <= parkLimit {
+		e.tel.parked.Add(int64(op.frames))
+		e.sealPendingLocked(op)
+		e.notePark(op)
+		return
+	}
+	e.dropped.Add(int64(op.frames))
+	e.tel.dropped.Add(int64(op.frames))
+	*op.pending = (*op.pending)[:0]
+	op.frames = 0
+}
+
+// sealPendingLocked moves the accumulation blob into the parked list and
+// leaves the port without a pending buffer. Called with op.mu held.
+func (e *Emulator) sealPendingLocked(op *outPort) {
+	if op.frames == 0 {
+		return
+	}
+	op.parked = append(op.parked, parkedChunk{buf: op.pending, frames: op.frames})
+	op.parkedFrames += op.frames
+	op.pending = nil
+	op.frames = 0
+}
+
+// notePark updates the park-queue high-water mark after frames were
+// parked on op. Called with op.mu held.
+func (e *Emulator) notePark(op *outPort) {
+	cur := int64(op.parkedFrames + op.frames)
+	for {
+		old := e.parkedPeak.Load()
+		if cur <= old {
+			return
+		}
+		if e.parkedPeak.CompareAndSwap(old, cur) {
+			e.tel.parkedPeak.SetInt(cur)
+			return
+		}
+	}
 }
 
 // mayReconnectLocked reports whether the port is expected to (re)appear:
@@ -386,51 +671,37 @@ func (e *Emulator) mayReconnectLocked(out int) bool {
 	return e.plan.RestartEpoch(out) >= 0 && e.regCount[out] < 2
 }
 
-// writeFailed tears down a port's connection after a write error: the
-// error is recorded, the connection dropped, and the frame (if any) parked
-// or counted dropped. The fabric keeps running.
-func (e *Emulator) writeFailed(port, gen int, err error, frame []byte) {
-	e.mu.Lock()
-	if gen == e.gen[port] && e.conns[port] != nil {
-		e.conns[port].Close()
-		e.conns[port] = nil
-		e.portErrs = append(e.portErrs, &PortError{Port: port, Op: "write", Err: err})
-		if e.mayReconnectLocked(port) {
-			// Expected back: the fabric is degraded until it returns.
-			e.tel.health.SetCondition(emuPortKey(port), "write failed; awaiting re-registration")
-		}
-	}
-	if frame != nil {
-		e.parkOrDropLocked(port, frame)
-	}
-	e.mu.Unlock()
-}
-
 // inputDone handles the end of a port's input stream. A clean EOF from a
 // port with no pending scripted restart is that port's final word; once
 // every registered port has spoken its last, the fabric is complete and
-// the emulator closes every connection (delivering EOF to all receivers)
-// and stops serving.
+// the emulator flushes every batch, closes every connection (delivering
+// EOF to all receivers), and stops serving.
 func (e *Emulator) inputDone(port, gen int, conn net.Conn, err error) {
-	e.mu.Lock()
-	if gen != e.gen[port] {
-		e.mu.Unlock()
+	op := &e.out[port]
+	op.mu.Lock()
+	if gen != op.gen {
+		op.mu.Unlock()
 		return // superseded by a re-registration
 	}
-	if err != io.EOF && err != io.ErrUnexpectedEOF {
+	broken := err != io.EOF && err != io.ErrUnexpectedEOF
+	if broken {
 		// A broken connection (not a half-close): record it and drop the
-		// conn entirely. The node may re-register.
-		e.portErrs = append(e.portErrs, &PortError{Port: port, Op: "read", Err: err})
+		// conn entirely. The node may re-register; whatever was batched
+		// for it parks until then.
 		conn.Close()
-		if e.conns[port] == conn {
-			e.conns[port] = nil
+		if op.conn == conn {
+			op.conn = nil
+			e.parkPendingLocked(op)
 		}
+		e.recordErr(&PortError{Port: port, Op: "read", Err: err})
 	}
+	e.mu.Lock()
 	if e.mayReconnectLocked(port) && !e.closed {
-		if err != io.EOF && err != io.ErrUnexpectedEOF {
+		e.mu.Unlock()
+		if broken {
 			e.tel.health.SetCondition(emuPortKey(port), "read failed; awaiting re-registration")
 		}
-		e.mu.Unlock()
+		op.mu.Unlock()
 		return // not the port's last word: await re-registration
 	}
 	e.eofFinal[port] = true
@@ -440,9 +711,31 @@ func (e *Emulator) inputDone(port, gen int, conn net.Conn, err error) {
 	complete := !e.completing && e.fabricDoneLocked()
 	if complete {
 		e.completing = true
-		e.closeAllLocked()
 	}
 	e.mu.Unlock()
+	op.mu.Unlock()
+	if complete {
+		e.finishFabric()
+	}
+}
+
+// finishFabric runs once when the last input stream retires: flush every
+// port's remaining batch (no input goroutine appends anymore, so batches
+// are stable), then close the listener and all connections so every
+// receiver sees EOF and Serve returns.
+func (e *Emulator) finishFabric() {
+	e.stopIdleFlusher()
+	for p := range e.out {
+		op := &e.out[p]
+		op.mu.Lock()
+		e.flushLocked(p, op, e.tel.flushDrain)
+		if op.conn != nil {
+			op.conn.Close()
+			op.conn = nil
+		}
+		op.mu.Unlock()
+	}
+	e.ln.Close()
 }
 
 // fabricDoneLocked reports whether every port has registered and every

@@ -48,6 +48,66 @@ func FuzzReadFrame(f *testing.F) {
 	})
 }
 
+// FuzzReadFrameInto checks the zero-copy decoder byte-for-byte against
+// the allocating ReadFrame on the same corpus: identical wavelength,
+// cell bytes, and error disposition, with the returned slice aliasing
+// the caller's buffer and the full wire frame reconstructable from it.
+// A second read through the same buffer must not see stale bytes.
+func FuzzReadFrameInto(f *testing.F) {
+	var seed bytes.Buffer
+	_ = WriteFrame(&seed, 3, []byte("payload"))
+	f.Add(seed.Bytes())
+	f.Add([]byte{0, 0, 0, 0, 0})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 1, 2, 3})
+	f.Add(seed.Bytes()[:3])
+	f.Add(seed.Bytes()[:frameHeader+2])
+	f.Add([]byte{0x00, 0x01, 0x00, 0x01, 9}) // 64KiB+1: rejected
+	f.Add([]byte{0x00, 0x00, 0xFF, 0xFF, 9}) // large but legal, truncated
+	corrupted := append([]byte(nil), seed.Bytes()...)
+	corrupted[0] ^= 0x80
+	corrupted[3] ^= 0x01
+	f.Add(corrupted)
+	var withCell bytes.Buffer
+	_ = WriteFrame(&withCell, 1, make([]byte, 24))
+	f.Add(withCell.Bytes())
+	// Two back-to-back frames of different sizes: the second read reuses
+	// the buffer the first grew.
+	var double bytes.Buffer
+	_ = WriteFrame(&double, 9, make([]byte, 100))
+	_ = WriteFrame(&double, 2, []byte("x"))
+	f.Add(double.Bytes())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		refR := bytes.NewReader(data)
+		zcR := bytes.NewReader(data)
+		buf := make([]byte, 0, 8) // deliberately tiny: force growth paths
+		for {
+			refW, refCell, refErr := ReadFrame(refR)
+			w, cellBytes, err := ReadFrameInto(zcR, &buf)
+			if (refErr == nil) != (err == nil) {
+				t.Fatalf("error disposition differs: ReadFrame=%v ReadFrameInto=%v", refErr, err)
+			}
+			if err != nil {
+				if refErr.Error() != err.Error() {
+					t.Fatalf("error text differs: %q vs %q", refErr, err)
+				}
+				return
+			}
+			if w != refW || !bytes.Equal(cellBytes, refCell) {
+				t.Fatal("ReadFrameInto diverges from ReadFrame")
+			}
+			if &buf[0] != &buf[:frameHeader+len(cellBytes)][0] || !bytes.Equal(buf[frameHeader:frameHeader+len(cellBytes)], refCell) {
+				t.Fatal("cell bytes do not alias the caller's buffer")
+			}
+			// The buffer must hold the complete re-emittable wire frame.
+			var rt bytes.Buffer
+			_ = WriteFrame(&rt, refW, refCell)
+			if !bytes.Equal(buf[:frameHeader+len(cellBytes)], rt.Bytes()) {
+				t.Fatal("buffer does not hold the full wire frame")
+			}
+		}
+	})
+}
+
 // FuzzHandshake checks the registration handshake parser: no panics,
 // every reject carries a non-OK status, and accepted handshakes
 // round-trip through EncodeHandshake (including the re-register flag).

@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bufio"
+	"encoding/binary"
 	"fmt"
 	"io"
 	"net"
@@ -165,8 +166,8 @@ type node struct {
 // floods suspicions piggybacked on data cells, and switches to a
 // compacted schedule at the agreed epoch boundary.
 func RunNode(cfg NodeConfig) (*NodeStats, error) {
-	if cfg.Nodes < 2 || cfg.Nodes > 255 {
-		return nil, fmt.Errorf("wire: need 2..255 nodes, got %d", cfg.Nodes)
+	if cfg.Nodes < 2 || cfg.Nodes > maxPorts {
+		return nil, fmt.Errorf("wire: need 2..%d nodes, got %d (the wavelength and handshake port fields are one byte; see docs/PROTOCOL.md)", maxPorts, cfg.Nodes)
 	}
 	if cfg.ID < 0 || cfg.ID >= cfg.Nodes {
 		return nil, fmt.Errorf("wire: node id %d out of range [0,%d)", cfg.ID, cfg.Nodes)
@@ -418,7 +419,7 @@ func (n *node) txLoop() error {
 
 	payload := make([]byte, n.cfg.PayloadBytes)
 	prbs := phy.NewPRBS(1)
-	encodeBuf := make([]byte, 0, cell.HeaderLen+n.cfg.PayloadBytes)
+	encodeBuf := make([]byte, 0, frameHeader+cell.HeaderLen+n.cfg.PayloadBytes)
 
 	conn, gen := n.currentConn()
 	bw := bufio.NewWriterSize(conn, 64<<10)
@@ -503,6 +504,7 @@ func (n *node) sendEpoch(g int, bw *bufio.Writer, conn net.Conn,
 	defer conn.SetWriteDeadline(time.Time{})
 
 	slots := sched.SlotsPerEpoch()
+	sent := 0
 	for slot := 0; slot < slots; slot++ {
 		dstOrig := live[sched.Dst(myIdx, 0, slot)]
 		// The grating wavelength is schedule-independent: wavelength w on
@@ -523,16 +525,33 @@ func (n *node) sendEpoch(g int, bw *bufio.Writer, conn net.Conn,
 		prbs.Reset(prbsSeed(c.Src, c.Dst, seq))
 		prbs.Fill(payload)
 		c.Payload = payload
-		*encodeBuf = c.Encode((*encodeBuf)[:0])
-		if err := WriteFrame(bw, w, *encodeBuf); err != nil {
+		// Assemble the whole wire frame — header and encoded cell — in
+		// the reusable buffer and hand it to the writer in one call.
+		eb := append((*encodeBuf)[:0], 0, 0, 0, 0, 0)
+		eb = c.Encode(eb)
+		binary.BigEndian.PutUint32(eb[:4], uint32(len(eb)-frameHeader))
+		eb[4] = w
+		*encodeBuf = eb
+		if _, err := bw.Write(eb); err != nil {
+			n.addSent(sent)
 			return err
 		}
-		n.mu.Lock()
-		n.stats.Sent++
-		n.mu.Unlock()
+		sent++
 		n.tel.sent.Inc()
 	}
+	n.addSent(sent)
 	return bw.Flush()
+}
+
+// addSent batches the epoch's Sent accounting into one mutex hold
+// instead of a lock/unlock pair per cell.
+func (n *node) addSent(sent int) {
+	if sent == 0 {
+		return
+	}
+	n.mu.Lock()
+	n.stats.Sent += sent
+	n.mu.Unlock()
 }
 
 // activeFloodsLocked returns the suspicions still being flooded at epoch
@@ -769,12 +788,15 @@ func (n *node) finishRx(err error) {
 	n.mu.Unlock()
 }
 
-// rxOnConn reads frames from one connection until it errors or EOFs.
+// rxOnConn reads frames from one connection until it errors or EOFs,
+// decoding each into a reusable buffer — the receive loop allocates
+// nothing in steady state.
 func (n *node) rxOnConn(conn net.Conn) error {
 	br := bufio.NewReaderSize(conn, 64<<10)
 	prbs := phy.NewPRBS(1)
+	buf := make([]byte, 0, frameHeader+cell.HeaderLen+n.cfg.PayloadBytes)
 	for {
-		_, raw, err := ReadFrame(br)
+		_, raw, err := ReadFrameInto(br, &buf)
 		if err != nil {
 			return err
 		}
@@ -785,7 +807,9 @@ func (n *node) rxOnConn(conn net.Conn) error {
 // handleCell processes one received cell: epoch bookkeeping for the gate,
 // PRBS verification, suspicion adoption, and stats.
 func (n *node) handleCell(raw []byte, prbs *phy.PRBS) {
-	c, _, err := cell.Decode(raw)
+	// The cell's payload aliases raw (the rx loop's reusable buffer);
+	// handleCell finishes with it before the next read overwrites it.
+	c, _, err := cell.DecodeAlias(raw)
 	if err != nil {
 		return // defensively ignore undecodable frames
 	}

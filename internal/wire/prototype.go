@@ -46,6 +46,14 @@ type PrototypeConfig struct {
 	// enabled automatically when a plan is present.
 	TrackEpochs bool
 
+	// BatchFrames, BatchBytes and FlushInterval configure the emulator's
+	// per-output-port write coalescing (Emulator.SetBatching). Zero
+	// values take the defaults; BatchFrames = 1 disables coalescing
+	// (the pre-batching per-frame write behavior).
+	BatchFrames   int
+	BatchBytes    int
+	FlushInterval time.Duration
+
 	// Telemetry, Health and Tracer are forwarded to every node and the
 	// emulator, so a live fabric exposes per-node counters, degraded
 	// conditions and per-epoch spans. Nil Telemetry uses the process
@@ -131,6 +139,9 @@ func RunPrototypeCfg(cfg PrototypeConfig) (*FaultStats, error) {
 	}
 	if cfg.Telemetry != nil || cfg.Health != nil {
 		em.Instrument(cfg.Telemetry, cfg.Health)
+	}
+	if cfg.BatchFrames != 0 || cfg.BatchBytes != 0 || cfg.FlushInterval != 0 {
+		em.SetBatching(cfg.BatchFrames, cfg.BatchBytes, cfg.FlushInterval)
 	}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- em.Serve() }()

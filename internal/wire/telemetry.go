@@ -80,7 +80,22 @@ type emuTel struct {
 	rejected    *telemetry.Counter
 	bitsFlipped *telemetry.Counter
 	registered  *telemetry.Counter
-	health      *telemetry.Health
+
+	// Batching data-path counters: how many frames rode an output batch
+	// that already had at least one frame pending (and therefore cost no
+	// dedicated write), flush counts broken down by what triggered them,
+	// a log2 histogram of frames per flushed batch, and the park-queue
+	// high-water mark across all output ports.
+	coalesced     *telemetry.Counter
+	flushBatch    *telemetry.Counter // batch-size budget reached
+	flushBytes    *telemetry.Counter // byte budget reached
+	flushDrain    *telemetry.Counter // input stream momentarily drained (epoch boundary)
+	flushIdle     *telemetry.Counter // idle flusher timeout
+	flushRegister *telemetry.Counter // park-queue replay on (re)registration
+	batchFrames   *telemetry.Histogram
+	parkedPeak    *telemetry.Gauge
+
+	health *telemetry.Health
 }
 
 func newEmuTel(reg *telemetry.Registry, h *telemetry.Health, ports int) *emuTel {
@@ -88,15 +103,23 @@ func newEmuTel(reg *telemetry.Registry, h *telemetry.Health, ports int) *emuTel 
 		reg = telemetry.Default
 	}
 	t := &emuTel{
-		routed:      reg.Counter("sirius_awgr_frames_routed_total"),
-		dropped:     reg.Counter("sirius_awgr_frames_dropped_total"),
-		greyDropped: reg.Counter("sirius_awgr_frames_grey_dropped_total"),
-		parked:      reg.Counter("sirius_awgr_frames_parked_total"),
-		rejected:    reg.Counter("sirius_awgr_connections_rejected_total"),
-		bitsFlipped: reg.Counter("sirius_awgr_bits_flipped_total"),
-		registered:  reg.Counter("sirius_awgr_registrations_total"),
-		health:      h,
-		portFrames:  make([]*telemetry.Counter, ports),
+		routed:        reg.Counter("sirius_awgr_frames_routed_total"),
+		dropped:       reg.Counter("sirius_awgr_frames_dropped_total"),
+		greyDropped:   reg.Counter("sirius_awgr_frames_grey_dropped_total"),
+		parked:        reg.Counter("sirius_awgr_frames_parked_total"),
+		rejected:      reg.Counter("sirius_awgr_connections_rejected_total"),
+		bitsFlipped:   reg.Counter("sirius_awgr_bits_flipped_total"),
+		registered:    reg.Counter("sirius_awgr_registrations_total"),
+		coalesced:     reg.Counter("sirius_awgr_frames_coalesced_total"),
+		flushBatch:    reg.Counter("sirius_awgr_flushes_total", "cause", "batch"),
+		flushBytes:    reg.Counter("sirius_awgr_flushes_total", "cause", "bytes"),
+		flushDrain:    reg.Counter("sirius_awgr_flushes_total", "cause", "drain"),
+		flushIdle:     reg.Counter("sirius_awgr_flushes_total", "cause", "idle"),
+		flushRegister: reg.Counter("sirius_awgr_flushes_total", "cause", "register"),
+		batchFrames:   reg.Histogram("sirius_awgr_batch_frames"),
+		parkedPeak:    reg.Gauge("sirius_awgr_parked_frames_peak"),
+		health:        h,
+		portFrames:    make([]*telemetry.Counter, ports),
 	}
 	for p := 0; p < ports; p++ {
 		t.portFrames[p] = reg.Counter("sirius_awgr_port_frames_total", "port", strconv.Itoa(p))

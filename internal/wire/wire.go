@@ -40,6 +40,11 @@ const frameHeader = 5
 // maxFrame bounds decoded frames defensively.
 const maxFrame = 64 << 10
 
+// maxPorts is the hard fabric-size cap: both the wavelength field of a
+// frame and the port field of the handshake are a single byte, so ports
+// and wavelengths live in [0, 256). Documented in docs/PROTOCOL.md.
+const maxPorts = 256
+
 // WriteFrame writes one wavelength-tagged frame.
 func WriteFrame(w io.Writer, wavelength uint8, cellBytes []byte) error {
 	var h [frameHeader]byte
@@ -52,21 +57,50 @@ func WriteFrame(w io.Writer, wavelength uint8, cellBytes []byte) error {
 	return err
 }
 
-// ReadFrame reads one frame.
-func ReadFrame(r io.Reader) (wavelength uint8, cellBytes []byte, err error) {
-	var h [frameHeader]byte
-	if _, err := io.ReadFull(r, h[:]); err != nil {
+// ReadFrameInto reads one frame into *buf, growing it if needed, and
+// returns the wavelength and the cell bytes. The returned slice aliases
+// (*buf)[frameHeader:]; the caller owns *buf and may reuse it for the
+// next read once it is done with the cell bytes. After a successful
+// read, (*buf)[:frameHeader+len(cellBytes)] holds the complete wire
+// frame (header + payload) with the header already encoded, so a router
+// can rewrite the wavelength byte in place and forward the whole frame
+// without reassembling it.
+func ReadFrameInto(r io.Reader, buf *[]byte) (wavelength uint8, cellBytes []byte, err error) {
+	b := *buf
+	if cap(b) < frameHeader {
+		b = make([]byte, 0, frameHeader+4096)
+	}
+	b = b[:frameHeader]
+	if _, err := io.ReadFull(r, b); err != nil {
+		*buf = b
 		return 0, nil, err
 	}
-	n := binary.BigEndian.Uint32(h[:4])
+	n := binary.BigEndian.Uint32(b[:4])
 	if n > maxFrame {
+		*buf = b
 		return 0, nil, fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
 	}
-	buf := make([]byte, n)
-	if _, err := io.ReadFull(r, buf); err != nil {
+	total := frameHeader + int(n)
+	if cap(b) < total {
+		nb := make([]byte, total)
+		copy(nb, b)
+		b = nb
+	}
+	b = b[:total]
+	if _, err := io.ReadFull(r, b[frameHeader:]); err != nil {
+		*buf = b
 		return 0, nil, err
 	}
-	return h[4], buf, nil
+	*buf = b
+	return b[4], b[frameHeader:], nil
+}
+
+// ReadFrame reads one frame. Compatibility wrapper around ReadFrameInto
+// that allocates a fresh buffer per call; hot paths should hold a
+// reusable buffer and call ReadFrameInto directly.
+func ReadFrame(r io.Reader) (wavelength uint8, cellBytes []byte, err error) {
+	var buf []byte
+	return ReadFrameInto(r, &buf)
 }
 
 // ---- Handshake ----

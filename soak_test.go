@@ -155,13 +155,14 @@ func TestSoakFaultyFabric(t *testing.T) {
 		{Kind: fault.Crash, Node: 4, Epoch: 60},
 	}}
 
-	run := func() *wire.FaultStats {
+	run := func(batchFrames int) *wire.FaultStats {
 		t.Helper()
 		fs, err := wire.RunPrototypeCfg(wire.PrototypeConfig{
 			Nodes:        nodes,
 			Epochs:       epochs,
 			PayloadBytes: 64,
 			Plan:         plan,
+			BatchFrames:  batchFrames,
 			// Localhost doesn't need the production silence budget; keep
 			// the three silent gate waits short.
 			SuspectTimeout: 250 * time.Millisecond,
@@ -173,7 +174,7 @@ func TestSoakFaultyFabric(t *testing.T) {
 	}
 
 	start := time.Now()
-	a := run()
+	a := run(0) // default output batching
 	if d := time.Since(start); d > 60*time.Second {
 		t.Errorf("faulty soak took %v; graceful degradation should finish in seconds", d)
 	}
@@ -221,7 +222,7 @@ func TestSoakFaultyFabric(t *testing.T) {
 	// is compared with a one-epoch tolerance; the strict byte-identical
 	// replay guarantee for flap-free plans is pinned down by the
 	// determinism tests in internal/wire.
-	b := run()
+	b := run(0)
 	if a.PlanHash != b.PlanHash {
 		t.Fatalf("plan hash changed across runs: %s vs %s", a.PlanHash, b.PlanHash)
 	}
@@ -235,6 +236,27 @@ func TestSoakFaultyFabric(t *testing.T) {
 		}
 		if d := x.Received - y.Received; d < -nodes || d > nodes {
 			t.Errorf("node %d received %d vs %d, beyond flap tolerance",
+				x.Node, x.Received, y.Received)
+		}
+	}
+
+	// The write-coalescing policy must be invisible to the failure story:
+	// a batch=1 run (the pre-batching per-frame behavior) reproduces the
+	// same failure timeline, transmissions, and injected corruption.
+	c := run(1)
+	if a.PlanHash != c.PlanHash {
+		t.Fatalf("plan hash changed with batching off: %s vs %s", a.PlanHash, c.PlanHash)
+	}
+	if len(a.Failures) != len(c.Failures) || a.Failures[0] != c.Failures[0] {
+		t.Errorf("failure timeline differs with batching off: %+v vs %+v", a.Failures, c.Failures)
+	}
+	for i := range a.Nodes {
+		x, y := a.Nodes[i], c.Nodes[i]
+		if x.Sent != y.Sent || x.BitErrors != y.BitErrors {
+			t.Errorf("node %d differs with batching off: %+v vs %+v", x.Node, x, y)
+		}
+		if d := x.Received - y.Received; d < -nodes || d > nodes {
+			t.Errorf("node %d received %d (batched) vs %d (batch=1), beyond flap tolerance",
 				x.Node, x.Received, y.Received)
 		}
 	}
