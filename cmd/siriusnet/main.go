@@ -38,6 +38,15 @@
 // multi-process run injects the same chaos as a single-process one, and
 // the plan's content hash is printed so chaos runs can be named and
 // replayed byte-identically (-seed fixes every random choice).
+//
+// Lifecycle operations: -drain-node/-drain-epoch script a cooperative
+// zero-loss drain, -readd-epoch re-admits the drained node later, and
+// -expand "node@epoch[,node@epoch...]" grows the fabric live (the
+// joiner ids must be < -nodes; founders are the rest). These are
+// shorthands for the corresponding plan events, so the same rule
+// applies: in a multi-process run EVERY process — the emulator and all
+// nodes, including the joiners and the drain victim — must receive the
+// identical lifecycle flags, or the fabric's membership views diverge.
 package main
 
 import (
@@ -45,6 +54,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
 	"sirius/internal/fault"
@@ -70,6 +80,10 @@ func main() {
 		planPath  = flag.String("faultplan", "", "JSON fault plan to inject (internal/fault format)")
 		killNode  = flag.Int("kill-node", -1, "shorthand: fail-stop this node...")
 		killEpoch = flag.Int("kill-epoch", 0, "...at this fabric epoch")
+		drainNode  = flag.Int("drain-node", -1, "shorthand: cooperatively drain this node...")
+		drainEpoch = flag.Int("drain-epoch", 0, "...announcing at this fabric epoch (detaches at epoch+2, zero loss)")
+		readdEpoch = flag.Int("readd-epoch", -1, "re-admit the drained node at this epoch (requires -drain-node)")
+		expand     = flag.String("expand", "", `grow the fabric live: comma list of "node@epoch" joiners (ids < -nodes)`)
 		seed      = flag.Uint64("seed", 42, "seed for every random choice (corruption substreams)")
 
 		telAddr     = flag.String("telemetry", "", "serve live /metrics, /healthz and /debug/vars on this address (e.g. 127.0.0.1:9090)")
@@ -118,7 +132,8 @@ func main() {
 		}
 	}
 
-	plan, err := loadPlan(*planPath, *killNode, *killEpoch, *seed)
+	plan, err := loadPlan(*planPath, *killNode, *killEpoch,
+		*drainNode, *drainEpoch, *readdEpoch, *expand, *seed)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "siriusnet: %v\n", err)
 		os.Exit(2)
@@ -203,10 +218,18 @@ func main() {
 	for _, n := range st.Nodes {
 		fate := "ok"
 		switch {
+		case n.Crashed && n.Rejoins > 0:
+			fate = "crashed, rejoined"
 		case n.Crashed:
 			fate = "crashed"
 		case n.Ejected:
 			fate = "ejected"
+		case n.Drained && n.Rejoins > 0:
+			fate = "drained, re-added"
+		case n.Drained:
+			fate = "drained (zero loss)"
+		case n.JoinedAt > 0:
+			fate = fmt.Sprintf("joined @%d", n.JoinedAt)
 		case n.Reconnects > 0:
 			fate = fmt.Sprintf("reconnected x%d", n.Reconnects)
 		}
@@ -232,8 +255,9 @@ func main() {
 }
 
 // loadPlan assembles the fault plan from -faultplan and/or the
-// -kill-node shorthand.
-func loadPlan(path string, killNode, killEpoch int, seed uint64) (*fault.Plan, error) {
+// -kill-node / -drain-node / -expand shorthands.
+func loadPlan(path string, killNode, killEpoch, drainNode, drainEpoch, readdEpoch int,
+	expand string, seed uint64) (*fault.Plan, error) {
 	var plan *fault.Plan
 	if path != "" {
 		p, err := fault.Load(path)
@@ -242,12 +266,31 @@ func loadPlan(path string, killNode, killEpoch int, seed uint64) (*fault.Plan, e
 		}
 		plan = p
 	}
-	if killNode >= 0 {
+	add := func(e fault.Event) {
 		if plan == nil {
 			plan = &fault.Plan{Seed: seed}
 		}
-		plan.Events = append(plan.Events,
-			fault.Event{Kind: fault.Crash, Node: killNode, Epoch: killEpoch})
+		plan.Events = append(plan.Events, e)
+	}
+	if killNode >= 0 {
+		add(fault.Event{Kind: fault.Crash, Node: killNode, Epoch: killEpoch})
+	}
+	if drainNode >= 0 {
+		add(fault.Event{Kind: fault.Drain, Node: drainNode, Epoch: drainEpoch})
+		if readdEpoch >= 0 {
+			add(fault.Event{Kind: fault.Readd, Node: drainNode, Epoch: readdEpoch})
+		}
+	} else if readdEpoch >= 0 {
+		return nil, fmt.Errorf("-readd-epoch requires -drain-node")
+	}
+	if expand != "" {
+		for _, spec := range strings.Split(expand, ",") {
+			var node, epoch int
+			if _, err := fmt.Sscanf(strings.TrimSpace(spec), "%d@%d", &node, &epoch); err != nil {
+				return nil, fmt.Errorf("-expand: bad joiner %q (want \"node@epoch\"): %v", spec, err)
+			}
+			add(fault.Event{Kind: fault.Expand, Node: node, Epoch: epoch})
+		}
 	}
 	if plan != nil && plan.Seed == 0 {
 		plan.Seed = seed
@@ -267,5 +310,14 @@ func printNode(st wire.NodeStats) {
 	}
 	if st.Ejected {
 		fmt.Println("  ejected by the fabric (confirmed failed)")
+	}
+	if st.Drained {
+		fmt.Println("  completed planned drain (zero loss)")
+	}
+	if st.Rejoins > 0 {
+		fmt.Printf("  re-admitted %d time(s)\n", st.Rejoins)
+	}
+	if st.JoinedAt > 0 {
+		fmt.Printf("  joined the running fabric at epoch %d\n", st.JoinedAt)
 	}
 }

@@ -6,8 +6,8 @@
 //	siriussim -exp all [-parallel N] [-seed S] [-cache=false]
 //
 // Experiments: fig2a fig6a fig6b tuning lasers fig8a fig8b fig8c fig8d
-// timesync budget burst proto livefailure fig9 fig10 fig11 fig12 fig13
-// failure servers ablation custom (with -trace).
+// timesync budget burst proto livefailure lifecycle fig9 fig10 fig11
+// fig12 fig13 failure servers ablation custom (with -trace).
 //
 // The sweep-shaped experiments (fig9–fig13, failure, servers, ablation)
 // run on the internal/sweep engine: grid points execute on a bounded
@@ -289,6 +289,7 @@ func run(args []string) int {
 		"livefailure": func() (*exp.Table, error) {
 			return exp.LiveFailure(4, 40, 2, 10, *seed)
 		},
+		"lifecycle": func() (*exp.Table, error) { return exp.Lifecycle(*seed) },
 		"custom": func() (*exp.Table, error) {
 			if *trace == "" {
 				return nil, fmt.Errorf("-exp custom needs -trace <file.csv>")
@@ -306,7 +307,7 @@ func run(args []string) int {
 	}
 
 	order := []string{"fig2a", "fig6a", "fig6b", "tuning", "lasers", "fig8a", "fig8b",
-		"fig8c", "fig8d", "timesync", "budget", "burst", "proto", "livefailure",
+		"fig8c", "fig8d", "timesync", "budget", "burst", "proto", "livefailure", "lifecycle",
 		"fig9", "fig10", "fig11", "fig12", "fig13", "failure", "servers", "ablation"}
 
 	started := time.Now()

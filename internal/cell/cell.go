@@ -43,6 +43,22 @@ const (
 	// transmitted its final scheduled cell toward the receiver: the
 	// receiver can account the stream closed without a timeout.
 	FlagFin
+	// FlagJoin marks a lifecycle join announcement. On a data cell it is
+	// the piggybacked join flood (Aux names the joining node, Flow the
+	// agreed switch epoch — the same min-S convergence as FlagSuspect).
+	// On a control cell it is a *welcome*: a member tells the joiner the
+	// switch epoch (Flow) and the fabric membership as of that epoch
+	// (payload bitmap, one bit per port).
+	FlagJoin
+	// FlagDrain marks a data cell carrying a piggybacked planned-drain
+	// announcement: Aux names the draining node and Flow the switch epoch
+	// from which the fabric stops scheduling toward it.
+	FlagDrain
+	// FlagHello marks a control cell from a not-yet-admitted node
+	// announcing that it is attached and ready to join: Src names the
+	// joiner. Members hold the expansion switch until every scripted
+	// joiner has said hello.
+	FlagHello
 )
 
 // Cell is one fixed-size unit of transmission. Src and Dst are node ids;
@@ -76,6 +92,43 @@ func (c *Cell) Suspicion() (peer int, switchEpoch int, ok bool) {
 func (c *Cell) SetSuspicion(peer int, switchEpoch int) {
 	c.Flags |= FlagSuspect
 	c.Aux = uint8(peer)
+	c.Flow = uint32(switchEpoch)
+}
+
+// The lifecycle announcements below reuse the Aux/Flow side channels, so
+// a cell carries at most one of suspicion/join/drain — the flooding
+// layer attaches announcements to distinct cells round-robin.
+
+// Join returns the piggybacked join announcement, if any: the joining
+// node id and the agreed switch epoch.
+func (c *Cell) Join() (node int, switchEpoch int, ok bool) {
+	if c.Flags&FlagJoin == 0 {
+		return 0, 0, false
+	}
+	return int(c.Aux), int(c.Flow), true
+}
+
+// SetJoin piggybacks a join announcement on the cell.
+func (c *Cell) SetJoin(node int, switchEpoch int) {
+	c.Flags |= FlagJoin
+	c.Aux = uint8(node)
+	c.Flow = uint32(switchEpoch)
+}
+
+// Drain returns the piggybacked planned-drain announcement, if any: the
+// draining node id and the switch epoch from which the fabric stops
+// scheduling toward it.
+func (c *Cell) Drain() (node int, switchEpoch int, ok bool) {
+	if c.Flags&FlagDrain == 0 {
+		return 0, 0, false
+	}
+	return int(c.Aux), int(c.Flow), true
+}
+
+// SetDrain piggybacks a planned-drain announcement on the cell.
+func (c *Cell) SetDrain(node int, switchEpoch int) {
+	c.Flags |= FlagDrain
+	c.Aux = uint8(node)
 	c.Flow = uint32(switchEpoch)
 }
 

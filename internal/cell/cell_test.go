@@ -65,6 +65,59 @@ func TestSuspicionPiggyback(t *testing.T) {
 	}
 }
 
+func TestLifecyclePiggyback(t *testing.T) {
+	c := Cell{Kind: KindData, Src: 2, Dst: 3, Seq: 99, Payload: []byte{1}}
+	if _, _, ok := c.Join(); ok {
+		t.Error("fresh cell already carries a join")
+	}
+	if _, _, ok := c.Drain(); ok {
+		t.Error("fresh cell already carries a drain")
+	}
+	c.SetJoin(5, 42)
+	got, _, err := Decode(c.Encode(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if node, sw, ok := got.Join(); !ok || node != 5 || sw != 42 {
+		t.Errorf("join = (%d,%d,%v), want (5,42,true)", node, sw, ok)
+	}
+	// The announcement kinds are gated on their own flag: a join is not a
+	// suspicion or a drain.
+	if _, _, ok := got.Suspicion(); ok {
+		t.Error("join read back as suspicion")
+	}
+	if _, _, ok := got.Drain(); ok {
+		t.Error("join read back as drain")
+	}
+	d := Cell{Kind: KindData, Src: 1, Dst: 2, Seq: 7, Payload: []byte{9}}
+	d.SetDrain(3, 17)
+	got2, _, err := Decode(d.Encode(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if node, sw, ok := got2.Drain(); !ok || node != 3 || sw != 17 {
+		t.Errorf("drain = (%d,%d,%v), want (3,17,true)", node, sw, ok)
+	}
+	// Hello and welcome are control cells distinguished by flags.
+	hello := Cell{Kind: KindControl, Flags: FlagHello, Src: 6}
+	g3, _, err := Decode(hello.Encode(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g3.Flags&FlagHello == 0 || g3.Src != 6 {
+		t.Error("hello lost flags or src")
+	}
+	welcome := Cell{Kind: KindControl, Src: 0, Dst: 6, Payload: []byte{0x3f}}
+	welcome.SetJoin(6, 42)
+	g4, _, err := Decode(welcome.Encode(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if node, sw, ok := g4.Join(); !ok || node != 6 || sw != 42 || g4.Payload[0] != 0x3f {
+		t.Error("welcome lost join fields or membership payload")
+	}
+}
+
 func TestDecodeErrors(t *testing.T) {
 	if _, _, err := Decode([]byte{1, 2, 3}); err == nil {
 		t.Error("short buffer decoded")

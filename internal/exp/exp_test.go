@@ -383,3 +383,37 @@ func TestScalePresets(t *testing.T) {
 		t.Errorf("paper scale = %+v", s)
 	}
 }
+
+// TestLifecycleTable runs the fleet-lifecycle soak at a fixed seed. The
+// experiment itself enforces the hard invariants (byte-identical
+// replay, /healthz green outside the crash incident); the test checks
+// the reported milestones land where the plan anchors them.
+func TestLifecycleTable(t *testing.T) {
+	tab, err := Lifecycle(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(metric string) string {
+		t.Helper()
+		for _, r := range tab.Rows {
+			if r[0] == metric {
+				return r[1]
+			}
+		}
+		t.Fatalf("no row %q in:\n%s", metric, tab.String())
+		return ""
+	}
+	for metric, want := range map[string]string{
+		"fabric grew 4->6 at epoch":   "12",
+		"node 1 drained at epoch":     "26",
+		"node 1 re-added at epoch":    "40",
+		"node 0 crashed at epoch":     "50",
+		"healthz excursions (want 1)": "1",
+		"healthz green at end":        "true",
+		"post-FEC error-free":         "true",
+	} {
+		if got := get(metric); got != want {
+			t.Errorf("%s = %s, want %s", metric, got, want)
+		}
+	}
+}

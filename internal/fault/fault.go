@@ -6,7 +6,7 @@
 // The paper's §4.5 failure classes map onto the plan's event kinds:
 //
 //   - fail-stop node failure  → Crash (the node stops at an epoch boundary)
-//   - transceiver/link flap   → Restart (the node drops its TCP connection
+//   - transceiver/link flap   → Flap (the node drops its TCP connection
 //     and re-registers with capped exponential backoff)
 //   - grey failure            → Grey (the emulator blackholes one
 //     (input, output) port pair: the node looks alive to everyone except
@@ -15,6 +15,32 @@
 //     bit-error-rate override)
 //   - slow/soft failure       → Stall (per-input-port frame delay; wall
 //     time only, never affects the frame stream's contents)
+//
+// Beyond reactive faults, plans also script *planned* fleet-lifecycle
+// operations (the Mission Apollo story — expansion, maintenance drains,
+// rolling change):
+//
+//   - live expansion     → Expand (the node is not an initial member; the
+//     running members admit it at an agreed switch epoch)
+//   - maintenance drain  → Drain (the node announces, the fabric stops
+//     scheduling toward it, it detaches with zero cell loss)
+//   - re-add after drain → Readd (the members re-admit a drained node)
+//   - rolling restart    → Restart (re-admission of a node that crashed
+//     or drained earlier; Validate rejects a Restart with no prior
+//     Crash/Drain for that node)
+//
+// # Overlap precedence
+//
+// Multiple windowed events may cover the same (port, epoch). The plan
+// resolves overlaps deterministically, pinned by tests:
+//
+//   - Degrade: the effective flip probability is the MAX over all active
+//     windows and the base probability — degradations never mask each
+//     other or repair the base rate.
+//   - Stall: the effective delay is the MAX over all active windows (not
+//     first-match) — the slowest overlapping stall wins.
+//   - Grey: the union — a frame is dropped if ANY active window matches
+//     its (src, dst) pair.
 //
 // Every event is keyed to a fabric epoch, and epochs are carried in-band
 // by cell sequence numbers, so a plan replays byte-identically: the same
@@ -37,14 +63,22 @@ import (
 // Kind names a fault event type.
 type Kind string
 
-// Event kinds. Crash and Restart execute inside the node loop; Grey,
-// Degrade and Stall execute inside the emulator.
+// Event kinds. Crash, Flap, Drain and the rejoin kinds (Restart, Readd)
+// execute inside the node loop; Expand anchors the epoch at which the
+// running members admit a new node; Grey, Degrade and Stall execute
+// inside the emulator.
 const (
 	Crash   Kind = "crash"   // node stops before transmitting Epoch (fail-stop)
-	Restart Kind = "restart" // node drops its connection at Epoch and re-registers
+	Flap    Kind = "flap"    // node drops its connection at Epoch and re-registers
 	Grey    Kind = "grey"    // emulator drops Src→Dst frames for epochs in [Epoch, Until)
 	Degrade Kind = "degrade" // emulator applies FlipProb to input Src for [Epoch, Until)
 	Stall   Kind = "stall"   // emulator delays input Src's frames by Delay for [Epoch, Until)
+
+	// Lifecycle kinds (planned operations, not faults).
+	Expand  Kind = "expand"  // node joins the running fabric: members propose at Epoch, switch at Epoch+2
+	Drain   Kind = "drain"   // node announces at Epoch, transmits through Epoch+1, detaches at Epoch+2
+	Readd   Kind = "readd"   // members re-admit a previously drained node: propose at Epoch, switch at Epoch+2
+	Restart Kind = "restart" // re-admit a node that crashed or drained earlier (rolling restart)
 )
 
 // Event is one scripted fault. Epoch is the fabric epoch at which it
@@ -55,7 +89,7 @@ type Event struct {
 	Epoch int  `json:"epoch"`
 	Until int  `json:"until,omitempty"`
 
-	// Node is the subject of Crash/Restart events.
+	// Node is the subject of Crash/Flap/Expand/Drain/Readd/Restart events.
 	Node int `json:"node,omitempty"`
 
 	// Src and Dst are emulator port indices (== node ids in the one-uplink
@@ -85,10 +119,18 @@ func KillPlan(node, epoch int, seed uint64) *Plan {
 }
 
 // Validate checks the plan against a topology of the given node count.
+//
+// Beyond per-event range checks it enforces the lifecycle ordering
+// contract: at most one event of each per-node kind per node, a Restart
+// only after a strictly earlier Crash or Drain of the same node, a Readd
+// only after a strictly earlier Drain, at most one rejoin (Restart or
+// Readd) per node, and no Crash or Flap scripted for a node that also
+// drains or joins late (those interleavings have no defined timeline).
 func (p *Plan) Validate(nodes int) error {
 	if p == nil {
 		return nil
 	}
+	perNode := map[Kind]map[int]int{} // kind → node → epoch
 	for i, e := range p.Events {
 		prefix := fmt.Sprintf("fault: event %d (%s)", i, e.Kind)
 		if e.Epoch < 0 {
@@ -98,10 +140,17 @@ func (p *Plan) Validate(nodes int) error {
 			return fmt.Errorf("%s: until %d not after epoch %d", prefix, e.Until, e.Epoch)
 		}
 		switch e.Kind {
-		case Crash, Restart:
+		case Crash, Flap, Expand, Drain, Readd, Restart:
 			if e.Node < 0 || e.Node >= nodes {
 				return fmt.Errorf("%s: node %d out of range [0,%d)", prefix, e.Node, nodes)
 			}
+			if _, dup := perNode[e.Kind][e.Node]; dup {
+				return fmt.Errorf("%s: duplicate %s event for node %d", prefix, e.Kind, e.Node)
+			}
+			if perNode[e.Kind] == nil {
+				perNode[e.Kind] = map[int]int{}
+			}
+			perNode[e.Kind][e.Node] = e.Epoch
 		case Grey:
 			if e.Src < 0 || e.Src >= nodes || e.Dst < 0 || e.Dst >= nodes {
 				return fmt.Errorf("%s: port pair (%d,%d) out of range [0,%d)", prefix, e.Src, e.Dst, nodes)
@@ -124,6 +173,55 @@ func (p *Plan) Validate(nodes int) error {
 			return fmt.Errorf("%s: unknown kind", prefix)
 		}
 	}
+	return p.validateLifecycle(perNode)
+}
+
+// validateLifecycle enforces the cross-event ordering rules between the
+// per-node lifecycle kinds collected by Validate.
+func (p *Plan) validateLifecycle(perNode map[Kind]map[int]int) error {
+	epoch := func(k Kind, node int) (int, bool) {
+		e, ok := perNode[k][node]
+		return e, ok
+	}
+	for node, re := range perNode[Restart] {
+		ce, crashed := epoch(Crash, node)
+		de, drained := epoch(Drain, node)
+		switch {
+		case !crashed && !drained:
+			return fmt.Errorf("fault: restart of node %d has no prior crash or drain (use %q for a connection flap)", node, Flap)
+		case crashed && re <= ce:
+			return fmt.Errorf("fault: restart of node %d at epoch %d not after its crash at %d", node, re, ce)
+		case drained && re <= de:
+			return fmt.Errorf("fault: restart of node %d at epoch %d not after its drain at %d", node, re, de)
+		}
+	}
+	for node, re := range perNode[Readd] {
+		de, drained := epoch(Drain, node)
+		if !drained {
+			return fmt.Errorf("fault: readd of node %d has no prior drain", node)
+		}
+		if re <= de {
+			return fmt.Errorf("fault: readd of node %d at epoch %d not after its drain at %d", node, re, de)
+		}
+		if _, also := epoch(Restart, node); also {
+			return fmt.Errorf("fault: node %d has both a readd and a restart; script one rejoin", node)
+		}
+	}
+	for node := range perNode[Drain] {
+		if _, crashed := epoch(Crash, node); crashed {
+			return fmt.Errorf("fault: node %d has both a drain and a crash; the interleaving is undefined", node)
+		}
+		if _, flaps := epoch(Flap, node); flaps {
+			return fmt.Errorf("fault: node %d has both a drain and a flap; the interleaving is undefined", node)
+		}
+	}
+	for node := range perNode[Expand] {
+		for _, k := range []Kind{Crash, Flap, Drain} {
+			if _, also := epoch(k, node); also {
+				return fmt.Errorf("fault: node %d joins late (expand) but also has a %s event; the interleaving is undefined", node, k)
+			}
+		}
+	}
 	return nil
 }
 
@@ -139,9 +237,54 @@ func (e Event) active(epoch int) bool {
 // -1. The node transmits epochs [0, CrashEpoch) and then dies.
 func (p *Plan) CrashEpoch(node int) int { return p.nodeEpoch(Crash, node) }
 
-// RestartEpoch returns the epoch at which the node is scripted to drop
-// its connection and re-register, or -1.
+// FlapEpoch returns the epoch at which the node is scripted to drop its
+// connection and re-register (a link flap), or -1.
+func (p *Plan) FlapEpoch(node int) int { return p.nodeEpoch(Flap, node) }
+
+// RestartEpoch returns the epoch at which the members are scripted to
+// re-admit the node after its earlier crash or drain (a rolling
+// restart), or -1.
 func (p *Plan) RestartEpoch(node int) int { return p.nodeEpoch(Restart, node) }
+
+// DrainEpoch returns the epoch at which the node announces its planned
+// drain, or -1. The node transmits epochs [0, DrainEpoch+2) and then
+// detaches; the switch epoch is DrainEpoch+2.
+func (p *Plan) DrainEpoch(node int) int { return p.nodeEpoch(Drain, node) }
+
+// ReaddEpoch returns the epoch at which the members are scripted to
+// re-admit the node after its planned drain, or -1.
+func (p *Plan) ReaddEpoch(node int) int { return p.nodeEpoch(Readd, node) }
+
+// ExpandEpoch returns the epoch at which the members are scripted to
+// admit this late-joining node, or -1 if the node is an initial member.
+func (p *Plan) ExpandEpoch(node int) int { return p.nodeEpoch(Expand, node) }
+
+// RejoinEpoch returns the epoch at which the members are scripted to
+// re-admit the node — its Restart or Readd event, whichever the plan
+// scripts (Validate allows at most one) — or -1.
+func (p *Plan) RejoinEpoch(node int) int {
+	if e := p.nodeEpoch(Restart, node); e >= 0 {
+		return e
+	}
+	return p.nodeEpoch(Readd, node)
+}
+
+// Joiners returns the sorted node ids with Expand events — nodes that
+// are NOT initial members and join the running fabric at their scripted
+// epoch.
+func (p *Plan) Joiners() []int {
+	if p == nil {
+		return nil
+	}
+	var js []int
+	for _, e := range p.Events {
+		if e.Kind == Expand {
+			js = append(js, e.Node)
+		}
+	}
+	sort.Ints(js)
+	return js
+}
 
 func (p *Plan) nodeEpoch(k Kind, node int) int {
 	if p == nil {
@@ -156,7 +299,8 @@ func (p *Plan) nodeEpoch(k Kind, node int) int {
 }
 
 // GreyDrop reports whether a frame from input port src destined output
-// port dst at the given epoch is blackholed.
+// port dst at the given epoch is blackholed: true if ANY active Grey
+// window matches the pair (overlapping windows union).
 func (p *Plan) GreyDrop(src, dst, epoch int) bool {
 	if p == nil {
 		return false
@@ -186,7 +330,9 @@ func (p *Plan) FlipProb(src, epoch int, base float64) float64 {
 }
 
 // StallDelay returns the forwarding delay for a frame from input port src
-// at the given epoch (0 if none). Stall affects wall time only.
+// at the given epoch: the LARGEST active Stall window's delay (0 if
+// none) — overlapping stalls do not add, the slowest wins. Stall affects
+// wall time only.
 func (p *Plan) StallDelay(src, epoch int) time.Duration {
 	if p == nil {
 		return 0

@@ -172,6 +172,12 @@ func (o *Observer) Judge(peer, lastHeard, epoch int) (newlySuspected bool) {
 // Suspected reports whether the observer has suspected the peer.
 func (o *Observer) Suspected(peer int) bool { return o.suspected[peer] }
 
+// Forgive clears the suspicion state for a peer that has been re-admitted
+// to the fabric (a rolling restart or a drained node's re-add). After
+// Forgive, Judge can suspect the peer again — the once-only contract is
+// per admission, not per process lifetime.
+func (o *Observer) Forgive(peer int) { o.suspected[peer] = false }
+
 // MissThreshold returns the configured threshold.
 func (o *Observer) MissThreshold() int { return o.threshold }
 

@@ -187,6 +187,28 @@ func TestObserverSuspectsAfterThreshold(t *testing.T) {
 	}
 }
 
+func TestObserverForgive(t *testing.T) {
+	o, err := NewObserver(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.Judge(1, 4, 8) || !o.Suspected(1) {
+		t.Fatal("setup: peer not suspected")
+	}
+	// A rolling restart re-admits the peer: suspicion clears, and the
+	// once-only Judge contract resets for the new admission.
+	o.Forgive(1)
+	if o.Suspected(1) {
+		t.Fatal("Forgive did not clear suspicion")
+	}
+	if o.Judge(1, 20, 22) {
+		t.Fatal("freshly re-admitted, caught-up peer suspected")
+	}
+	if !o.Judge(1, 20, 24) {
+		t.Fatal("re-admitted peer not suspectable after going silent again")
+	}
+}
+
 func TestObserverStragglerNotSuspected(t *testing.T) {
 	// A peer that is persistently one epoch behind (e.g. itself riding out
 	// another node's failure) keeps a constant gap and is never suspected.

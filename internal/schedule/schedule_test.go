@@ -360,6 +360,182 @@ func TestCompactEpochTrade(t *testing.T) {
 	}
 }
 
+func TestDegradedMultipleFailures(t *testing.T) {
+	// Several simultaneous failures on both schedule families: every slot
+	// touching any failed node is silenced, the rest stay contention-free.
+	bases := map[string]Schedule{}
+	if g, err := NewGrouped(16, 4, 1); err == nil {
+		bases["grouped"] = g
+	} else {
+		t.Fatal(err)
+	}
+	if r, err := NewRotor(16, 3); err == nil {
+		bases["rotor"] = r
+	} else {
+		t.Fatal(err)
+	}
+	failed := []int{1, 7, 12}
+	for name, base := range bases {
+		d, err := NewDegraded(base, failed)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, f := range failed {
+			if !d.Failed(f) {
+				t.Errorf("%s: node %d not flagged failed", name, f)
+			}
+		}
+		wasted := 0
+		for s := 0; s < d.SlotsPerEpoch(); s++ {
+			for u := 0; u < d.Uplinks(); u++ {
+				for n := 0; n < 16; n++ {
+					dst := d.Dst(n, u, s)
+					for _, f := range failed {
+						if dst == f {
+							t.Fatalf("%s: slot (%d,%d,%d) still targets failed node %d", name, n, u, s, f)
+						}
+					}
+					if dst < 0 {
+						wasted++
+					}
+				}
+			}
+		}
+		// A wasted slot has a failed source or a failed destination. The 3
+		// failed sources lose all uplinks × slots; each of the 13 surviving
+		// sources additionally wastes its k connections to each of the 3
+		// failed destinations.
+		k := base.ConnectionsPerEpoch()
+		wantWasted := 3*base.Uplinks()*base.SlotsPerEpoch() + 13*3*k
+		if wasted != wantWasted {
+			t.Errorf("%s: wasted = %d, want %d", name, wasted, wantWasted)
+		}
+		if err := CheckContentionFree(d); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestCompactMultipleFailures(t *testing.T) {
+	// Compacting around several simultaneous failures, from both a grouped
+	// and a rotor base: the live mapping skips every failed node and the
+	// rebuilt rotor keeps the uniform-coverage and contention-free
+	// invariants.
+	type tc struct {
+		name   string
+		base   func() (Schedule, error)
+		failed []int
+	}
+	cases := []tc{
+		{"grouped-3fail", func() (Schedule, error) { return NewGrouped(16, 4, 1) }, []int{0, 5, 9}},
+		{"grouped-adjacent", func() (Schedule, error) { return NewGrouped(16, 4, 1) }, []int{6, 7, 8}},
+		{"rotor-3fail", func() (Schedule, error) { return NewRotor(16, 3) }, []int{2, 3, 11}},
+		{"rotor-half", func() (Schedule, error) { return NewRotor(8, 2) }, []int{0, 2, 4, 6}},
+		{"grouped-paper", func() (Schedule, error) { return NewGrouped(64, 8, 1) }, []int{1, 17, 33, 49, 63}},
+	}
+	for _, c := range cases {
+		base, err := c.base()
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		r, live, err := Compact(base, c.failed)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		wantLive := base.Nodes() - len(c.failed)
+		if r.Nodes() != wantLive || len(live) != wantLive {
+			t.Fatalf("%s: compact nodes = %d, want %d", c.name, r.Nodes(), wantLive)
+		}
+		seen := map[int]bool{}
+		for i, n := range live {
+			if i > 0 && live[i-1] >= n {
+				t.Errorf("%s: live mapping not strictly increasing: %v", c.name, live)
+			}
+			seen[n] = true
+			for _, f := range c.failed {
+				if n == f {
+					t.Errorf("%s: failed node %d in live set", c.name, f)
+				}
+			}
+		}
+		if len(seen) != wantLive {
+			t.Errorf("%s: duplicate nodes in live mapping %v", c.name, live)
+		}
+		if r.Uplinks() > base.Uplinks() {
+			t.Errorf("%s: compaction invented uplinks (%d > %d)", c.name, r.Uplinks(), base.Uplinks())
+		}
+		if err := CheckContentionFree(r); err != nil {
+			t.Errorf("%s: %v", c.name, err)
+		}
+		if err := CheckUniformCoverage(r); err != nil {
+			t.Errorf("%s: %v", c.name, err)
+		}
+	}
+}
+
+func TestCompactDeterministic(t *testing.T) {
+	// Two independent compactions over the same survivor set must agree
+	// exactly — the wire fabric relies on "agreement on when + the same
+	// deterministic computation = agreement on what".
+	base, _ := NewRotor(12, 3)
+	failed := []int{4, 10}
+	a, liveA, err := Compact(base, failed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, liveB, err := Compact(base, []int{10, 4}) // order must not matter
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Nodes() != b.Nodes() || a.Uplinks() != b.Uplinks() || a.SlotsPerEpoch() != b.SlotsPerEpoch() {
+		t.Fatalf("compactions disagree on shape: %d/%d/%d vs %d/%d/%d",
+			a.Nodes(), a.Uplinks(), a.SlotsPerEpoch(), b.Nodes(), b.Uplinks(), b.SlotsPerEpoch())
+	}
+	for i := range liveA {
+		if liveA[i] != liveB[i] {
+			t.Fatalf("live mappings disagree: %v vs %v", liveA, liveB)
+		}
+	}
+	for s := 0; s < a.SlotsPerEpoch(); s++ {
+		for u := 0; u < a.Uplinks(); u++ {
+			for n := 0; n < a.Nodes(); n++ {
+				if a.Dst(n, u, s) != b.Dst(n, u, s) {
+					t.Fatalf("schedules disagree at (%d,%d,%d)", n, u, s)
+				}
+			}
+		}
+	}
+}
+
+// TestCompactMatchesGroupedAtFullMembership pins the identity the wire
+// fabric's membership machinery relies on: compacting a one-uplink
+// grouped schedule over zero failures yields a rotor with the identical
+// destination sequence, so "always schedule via Compact over the
+// inactive set" changes nothing for a full fabric.
+func TestCompactMatchesGroupedAtFullMembership(t *testing.T) {
+	for _, n := range []int{2, 4, 6, 16} {
+		g, err := NewGrouped(n, n, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, live, err := Compact(g, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(live) != n || r.SlotsPerEpoch() != g.SlotsPerEpoch() {
+			t.Fatalf("n=%d: shape changed: %d live, %d slots", n, len(live), r.SlotsPerEpoch())
+		}
+		for node := 0; node < n; node++ {
+			for s := 0; s < n; s++ {
+				if r.Dst(node, 0, s) != g.Dst(node, 0, s) {
+					t.Fatalf("n=%d: Dst(%d,0,%d): rotor %d vs grouped %d",
+						n, node, s, r.Dst(node, 0, s), g.Dst(node, 0, s))
+				}
+			}
+		}
+	}
+}
+
 func TestCompactRejectsBadNodes(t *testing.T) {
 	base, _ := NewGrouped(8, 4, 1)
 	if _, _, err := Compact(base, []int{-1}); err == nil {

@@ -91,7 +91,16 @@ func allocTestNode(t *testing.T, nodes, payloadBytes int) *node {
 		suspected:   make([]bool, nodes),
 		switchEpoch: make([]int, nodes),
 		applied:     make([]bool, nodes),
+		member:      make([]bool, nodes),
+		joinAt:      make([]int, nodes),
+		leaveAt:     make([]int, nodes),
+		joinDone:    make([]bool, nodes),
+		leaveDone:   make([]bool, nodes),
+		helloSeen:   make([]bool, nodes),
+		everMember:  true,
+		welcomeS:    -1,
 		obs:         obs,
+		base:        base,
 		sched:       base,
 		live:        make([]int, nodes),
 		myIdx:       0,
@@ -102,6 +111,9 @@ func allocTestNode(t *testing.T, nodes, payloadBytes int) *node {
 	for i := range n.heard {
 		n.heard[i] = -1
 		n.switchEpoch[i] = -1
+		n.joinAt[i] = -1
+		n.leaveAt[i] = -1
+		n.member[i] = true
 		n.live[i] = i
 	}
 	return n

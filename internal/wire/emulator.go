@@ -151,6 +151,10 @@ type Emulator struct {
 	tel *emuTel
 
 	wg sync.WaitGroup
+	// flusherWG tracks the idle flusher alone, so Close can wait for it
+	// specifically (the input goroutines in wg may be blocked on reads
+	// that only finish once Close tears their connections down).
+	flusherWG sync.WaitGroup
 }
 
 // NewEmulator listens on an ephemeral localhost port.
@@ -253,7 +257,12 @@ func (e *Emulator) PortErrors() []error {
 }
 
 // Close shuts the emulator down: the listener and all connections are
-// closed and Serve returns nil. Idempotent.
+// closed and Serve returns nil. Batched frames still holding a live
+// connection get one best-effort bounded flush; everything left after
+// that — pending batches and parked frames alike — is accounted as
+// dropped, so counters balance even on an abortive shutdown. The idle
+// flusher is stopped and waited for, so no goroutine of the emulator's
+// own machinery outlives Close. Idempotent.
 func (e *Emulator) Close() error {
 	e.mu.Lock()
 	if e.closed {
@@ -262,18 +271,52 @@ func (e *Emulator) Close() error {
 	}
 	e.closed = true
 	e.mu.Unlock()
-	e.stopIdleFlusher()
 	e.ln.Close()
 	for p := range e.out {
 		op := &e.out[p]
 		op.mu.Lock()
+		if op.conn != nil && op.frames > 0 {
+			op.conn.SetWriteDeadline(time.Now().Add(50 * time.Millisecond))
+			e.flushLocked(p, op, e.tel.flushDrain)
+		}
 		if op.conn != nil {
 			op.conn.Close()
 			op.conn = nil
 		}
 		op.mu.Unlock()
 	}
+	e.stopIdleFlusher()
+	e.flusherWG.Wait()
+	for p := range e.out {
+		op := &e.out[p]
+		op.mu.Lock()
+		e.discardHeldLocked(op)
+		op.mu.Unlock()
+	}
 	return nil
+}
+
+// discardHeldLocked accounts and recycles every frame still held for a
+// port — the pending batch and all parked chunks — and bars further
+// parking. Called with op.mu held, during shutdown.
+func (e *Emulator) discardHeldLocked(op *outPort) {
+	if n := op.frames + op.parkedFrames; n > 0 {
+		e.dropped.Add(int64(n))
+		e.tel.dropped.Add(int64(n))
+	}
+	if op.pending != nil {
+		*op.pending = (*op.pending)[:0]
+		framePool.Put(op.pending)
+		op.pending = nil
+	}
+	op.frames = 0
+	for _, pc := range op.parked {
+		*pc.buf = (*pc.buf)[:0]
+		framePool.Put(pc.buf)
+	}
+	op.parked = nil
+	op.parkedFrames = 0
+	op.mayReconnect = false
 }
 
 // stopIdleFlusher signals the idle flusher to exit. Idempotent.
@@ -289,6 +332,7 @@ func (e *Emulator) stopIdleFlusher() {
 // cannot take the fabric down.
 func (e *Emulator) Serve() error {
 	e.wg.Add(1)
+	e.flusherWG.Add(1)
 	go e.idleFlusher()
 	for {
 		conn, err := e.ln.Accept()
@@ -314,6 +358,7 @@ func (e *Emulator) Serve() error {
 // sweeper from blocking behind one stalled port.
 func (e *Emulator) idleFlusher() {
 	defer e.wg.Done()
+	defer e.flusherWG.Done()
 	t := time.NewTicker(e.flushInterval)
 	defer t.Stop()
 	for {
@@ -480,11 +525,14 @@ func (e *Emulator) routeOne(port int, w uint8, frame, cellBytes []byte, dirty []
 		e.tel.greyDropped.Inc()
 		return
 	}
-	if p := e.plan.FlipProb(port, epoch, e.flipProb); p > 0 && len(cellBytes) > cell.HeaderLen {
-		// Corrupt payload bits only: cell headers model the separately
-		// (and more strongly) FEC-protected framing, so epoch numbers
-		// and piggybacked suspicions survive receiver-sensitivity
-		// faults the way the payload does not.
+	if p := e.plan.FlipProb(port, epoch, e.flipProb); p > 0 && len(cellBytes) > cell.HeaderLen &&
+		cell.Kind(cellBytes[1]) != cell.KindControl {
+		// Corrupt payload bits only, and never control cells: cell headers
+		// model the separately (and more strongly) FEC-protected framing,
+		// so epoch numbers and piggybacked suspicions survive
+		// receiver-sensitivity faults the way the payload does not — and
+		// control cells (welcomes carry membership bitmaps in the payload)
+		// ride under the same protection end to end.
 		e.rmu[port].Lock()
 		flips := corruptPayload(cellBytes[cell.HeaderLen:], p, e.rngs[port])
 		e.rmu[port].Unlock()
@@ -662,13 +710,23 @@ func (e *Emulator) notePark(op *outPort) {
 }
 
 // mayReconnectLocked reports whether the port is expected to (re)appear:
-// it has never registered, or the fault plan scripts a restart it has not
-// yet consumed. Called with e.mu held.
+// it has never registered, or the fault plan scripts more registrations
+// than it has consumed. Each port registers once at startup, once more
+// after a scripted flap, and once more after a scripted rejoin (a restart
+// following a crash, or a re-add following a drain). Called with e.mu
+// held.
 func (e *Emulator) mayReconnectLocked(out int) bool {
 	if e.regCount[out] == 0 {
 		return true
 	}
-	return e.plan.RestartEpoch(out) >= 0 && e.regCount[out] < 2
+	expected := 1
+	if e.plan.FlapEpoch(out) >= 0 {
+		expected++
+	}
+	if e.plan.RejoinEpoch(out) >= 0 {
+		expected++
+	}
+	return e.regCount[out] < expected
 }
 
 // inputDone handles the end of a port's input stream. A clean EOF from a
@@ -733,6 +791,10 @@ func (e *Emulator) finishFabric() {
 			op.conn.Close()
 			op.conn = nil
 		}
+		// Anything still held (a failed flush, frames parked for a port
+		// that never returned) is accounted as dropped: routed frames
+		// always land in delivered, dropped, or grey-dropped.
+		e.discardHeldLocked(op)
 		op.mu.Unlock()
 	}
 	e.ln.Close()

@@ -233,7 +233,7 @@ func TestRestartFlapRecovers(t *testing.T) {
 	// to it while it is away, and the run completes with no failure record.
 	const nodes, epochs, flapper, flapAt = 4, 25, 1, 10
 	plan := &fault.Plan{Seed: 77, Events: []fault.Event{
-		{Kind: fault.Restart, Node: flapper, Epoch: flapAt},
+		{Kind: fault.Flap, Node: flapper, Epoch: flapAt},
 	}}
 	fs, err := RunPrototypeCfg(faultCfg(nodes, epochs, plan))
 	if err != nil {

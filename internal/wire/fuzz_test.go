@@ -116,9 +116,9 @@ func FuzzHandshake(f *testing.F) {
 	f.Add(ok[:], 4)
 	rr := EncodeHandshake(1, HsReRegister)
 	f.Add(rr[:], 4)
-	f.Add([]byte{0xA7, 1, 99, 0}, 4)         // port out of range
+	f.Add([]byte{0xA7, hsVersion, 99, 0}, 4) // port out of range
 	f.Add([]byte{0xDE, 0xAD, 0xBE, 0xEF}, 8) // bad magic
-	f.Add([]byte{0xA7, 2, 0, 0}, 4)          // wrong version
+	f.Add([]byte{0xA7, 1, 0, 0}, 4)          // stale version
 	f.Fuzz(func(t *testing.T, data []byte, ports int) {
 		if len(data) < hsLen {
 			return

@@ -96,6 +96,17 @@ type PeerFailure struct {
 	SwitchEpoch  int
 }
 
+// MemberChange records one applied membership switch as this node saw
+// it: at Epoch the fabric recomputed its schedule because Node failed
+// ("fail"), drained out ("leave"), or was admitted ("join"). Every
+// survivor that witnessed the whole run records the identical sequence —
+// the no-desync acceptance check.
+type MemberChange struct {
+	Epoch int
+	Node  int
+	Kind  string // "fail" | "leave" | "join"
+}
+
 // NodeStats summarizes one node's run.
 type NodeStats struct {
 	Node       int
@@ -107,8 +118,12 @@ type NodeStats struct {
 	Reconnects int  // successful re-registrations
 	Crashed    bool // this node executed a scripted Crash
 	Ejected    bool // the fabric confirmed this node failed (grey victim)
+	Drained    bool // this node completed a planned drain (zero-loss detach)
+	Rejoins    int  // times re-admitted after a crash or drain
+	JoinedAt   int  // epoch first admitted (0 for founders, the switch epoch for joiners)
 	Failures   []PeerFailure
-	RxPerEpoch []int // per-epoch received cells (TrackEpochs only)
+	Changes    []MemberChange // applied membership switches, in order
+	RxPerEpoch []int          // per-epoch received cells (TrackEpochs only)
 }
 
 // BER returns the measured pre-FEC bit error rate.
@@ -128,6 +143,20 @@ func prbsSeed(src, dst uint16, seq uint32) uint32 {
 	return uint32(s&0x7fffffff) | 1
 }
 
+// announcement is one lifecycle/failure fact being flooded: a suspicion,
+// a join, or a planned drain, each with its agreed switch epoch.
+type announcement struct {
+	kind byte // annSuspect | annJoin | annDrain
+	node int
+	sw   int
+}
+
+const (
+	annSuspect byte = iota
+	annJoin
+	annDrain
+)
+
 // node is the run state of one emulated node.
 type node struct {
 	cfg  NodeConfig
@@ -137,6 +166,7 @@ type node struct {
 	conn      net.Conn // guarded by mu
 	gen       int      // connection generation; bumped by relink
 	relinking bool     // a relink is in flight; others wait
+	quietLink bool     // next relink is a planned detach/re-attach: no health condition
 
 	heard       []int  // highest epoch heard from each original peer (-1 never)
 	suspected   []bool // peer is suspected failed (locally or by flood)
@@ -145,12 +175,43 @@ type node struct {
 	failures    []PeerFailure
 	obs         *health.Observer
 
-	sched schedule.Schedule // current schedule (base or compacted)
+	// Membership state (the lifecycle plane). member is the applied
+	// membership; joinAt/leaveAt are pending admissions/drains keyed by
+	// their agreed switch epoch (-1 none), folded in by
+	// applySwitchesLocked exactly like failure suspicions. joinDone and
+	// leaveDone are once-per-plan guards (Validate allows one admission
+	// and one drain per node). helloSeen tracks which scripted joiners
+	// have announced themselves; the expansion gate holds until all of
+	// an epoch's joiners have said hello.
+	member     []bool
+	joinAt     []int
+	leaveAt    []int
+	joinDone   []bool
+	leaveDone  []bool
+	helloSeen  []bool
+	everMember bool
+
+	// waitingHellos marks a gate held open for a scripted joiner's hello;
+	// like dormancy it is legitimate planned idleness, so the watchdog
+	// extends its leash while it is set.
+	waitingHellos bool
+
+	// Dormant state: the node is registered with the emulator but not a
+	// member (an expansion joiner before admission, or a crashed/drained
+	// node awaiting its scripted rejoin). A dormant node discards
+	// everything it receives except a welcome addressed to it.
+	dormant        bool
+	welcomeS       int    // switch epoch from the best welcome so far (-1 none)
+	welcomeMembers []bool // membership bitmap carried by that welcome
+
+	base  schedule.Schedule // the full-fabric schedule Compact works from
+	sched schedule.Schedule // current schedule (over the active members)
 	live  []int             // compact index -> original node id
 	myIdx int               // this node's index in the current schedule
 
 	txDone   bool
 	rxDone   bool
+	detached bool // no further connection will exist (terminal crash/drain)
 	fatalErr error
 
 	progress atomic.Int64 // bumped on any rx frame / tx epoch / reconnect
@@ -203,6 +264,15 @@ func RunNode(cfg NodeConfig) (*NodeStats, error) {
 		return nil, err
 	}
 
+	joiners := cfg.Plan.Joiners()
+	if cfg.Nodes-len(joiners) < 2 {
+		return nil, fmt.Errorf("wire: only %d initial members (need >= 2): %d of %d nodes join late",
+			cfg.Nodes-len(joiners), len(joiners), cfg.Nodes)
+	}
+	if err := validateLifecycleHorizon(cfg); err != nil {
+		return nil, err
+	}
+
 	n := &node{
 		cfg:         cfg,
 		heard:       make([]int, cfg.Nodes),
@@ -210,9 +280,14 @@ func RunNode(cfg NodeConfig) (*NodeStats, error) {
 		switchEpoch: make([]int, cfg.Nodes),
 		applied:     make([]bool, cfg.Nodes),
 		obs:         obs,
-		sched:       base,
-		live:        make([]int, cfg.Nodes),
-		myIdx:       cfg.ID,
+		member:      make([]bool, cfg.Nodes),
+		joinAt:      make([]int, cfg.Nodes),
+		leaveAt:     make([]int, cfg.Nodes),
+		joinDone:    make([]bool, cfg.Nodes),
+		leaveDone:   make([]bool, cfg.Nodes),
+		helloSeen:   make([]bool, cfg.Nodes),
+		welcomeS:    -1,
+		base:        base,
 		stats:       NodeStats{Node: cfg.ID},
 	}
 	n.cond = sync.NewCond(&n.mu)
@@ -220,7 +295,17 @@ func RunNode(cfg NodeConfig) (*NodeStats, error) {
 	for i := range n.heard {
 		n.heard[i] = -1
 		n.switchEpoch[i] = -1
-		n.live[i] = i
+		n.joinAt[i] = -1
+		n.leaveAt[i] = -1
+		n.member[i] = true
+	}
+	for _, j := range joiners {
+		n.member[j] = false
+	}
+	n.everMember = n.member[cfg.ID]
+	n.dormant = !n.member[cfg.ID]
+	if err := n.rebuildScheduleLocked(); err != nil {
+		return nil, err
 	}
 	if cfg.TrackEpochs {
 		n.stats.RxPerEpoch = make([]int, cfg.Epochs)
@@ -255,6 +340,31 @@ func RunNode(cfg NodeConfig) (*NodeStats, error) {
 		return &stats, err
 	}
 	return &stats, nil
+}
+
+// validateLifecycleHorizon rejects plans whose lifecycle switch epochs
+// land at or beyond the run horizon: an admission that can never be
+// applied leaves a dormant node waiting forever, and a drain that never
+// switches is a silent no-op. (Rejoin switch epochs are proposal-time
+// dependent; epoch+2 is the earliest they can land, so the check is a
+// necessary floor — plans should leave extra headroom.)
+func validateLifecycleHorizon(cfg NodeConfig) error {
+	for node := 0; node < cfg.Nodes; node++ {
+		for _, ev := range []struct {
+			kind  string
+			epoch int
+		}{
+			{"expand", cfg.Plan.ExpandEpoch(node)},
+			{"drain", cfg.Plan.DrainEpoch(node)},
+			{"rejoin", cfg.Plan.RejoinEpoch(node)},
+		} {
+			if ev.epoch >= 0 && ev.epoch+2 >= cfg.Epochs {
+				return fmt.Errorf("wire: %s of node %d switches at epoch %d, at or past the run's %d epochs",
+					ev.kind, node, ev.epoch+2, cfg.Epochs)
+			}
+		}
+	}
+	return nil
 }
 
 // dialRegister connects to the emulator and performs the handshake.
@@ -319,6 +429,7 @@ func (n *node) watchdog(stop chan struct{}) {
 		}
 		n.mu.Lock()
 		done := n.rxDone && n.txDone
+		patient := n.dormant || n.waitingHellos
 		n.mu.Unlock()
 		if done {
 			return
@@ -327,9 +438,18 @@ func (n *node) watchdog(stop chan struct{}) {
 			last, strikes = now, 0
 			continue
 		}
+		// A dormant node awaiting its welcome, or a member holding a gate
+		// for a scripted joiner's hello, is legitimately idle: leash it at
+		// 10x the normal budget instead of 1x, so planned lifecycle waits
+		// survive while a truly wedged fabric still fails.
+		limit := 3
+		if patient {
+			limit = 30
+		}
 		strikes++
-		if strikes >= 3 {
-			n.fail(fmt.Errorf("wire: node %d: no progress for %v", n.cfg.ID, n.cfg.Timeout))
+		if strikes >= limit {
+			n.fail(fmt.Errorf("wire: node %d: no progress for %v", n.cfg.ID,
+				time.Duration(limit)*tick))
 			return
 		}
 	}
@@ -356,12 +476,17 @@ func (n *node) relink(failedGen int) error {
 		return err
 	}
 	n.relinking = true
+	// A planned detach/re-attach (drain cycle) is not an incident: skip
+	// the degraded-health condition so /healthz stays green through it.
+	quiet := n.quietLink
 	if n.conn != nil {
 		n.conn.Close()
 		n.conn = nil
 	}
 	n.mu.Unlock()
-	n.tel.health.SetCondition(n.tel.linkKey(), "link down; reconnecting")
+	if !quiet {
+		n.tel.health.SetCondition(n.tel.linkKey(), "link down; reconnecting")
+	}
 	defer func() {
 		n.mu.Lock()
 		n.relinking = false
@@ -378,6 +503,7 @@ func (n *node) relink(failedGen int) error {
 			n.conn = conn
 			n.gen++
 			n.stats.Reconnects++
+			n.quietLink = false
 			// Forgive the gap our own outage created: peers transmitted
 			// while we were deaf, so judging them by pre-outage hearsay
 			// would manufacture false suspicions.
@@ -385,7 +511,9 @@ func (n *node) relink(failedGen int) error {
 			n.cond.Broadcast()
 			n.mu.Unlock()
 			n.tel.reconnects.Inc()
-			n.tel.health.ClearCondition(n.tel.linkKey())
+			if !quiet {
+				n.tel.health.ClearCondition(n.tel.linkKey())
+			}
 			n.tel.tracer.Instant("reconnect", "wire.node", n.cfg.ID, nil)
 			return nil
 		}
@@ -411,11 +539,21 @@ func (n *node) currentConn() (net.Conn, int) {
 // ---- Transmit side ----
 
 // txLoop drives the scheduled epochs: gate, transmit, flush; with scripted
-// crash/restart hooks at epoch boundaries, and a half-close when done so
-// the emulator learns this input has spoken its last.
+// crash/flap/drain hooks at epoch boundaries, dormant phases around
+// admissions (expansion joiners, post-crash/drain rejoins), and a
+// half-close when done so the emulator learns this input has spoken its
+// last.
 func (n *node) txLoop() error {
-	crashAt := n.cfg.Plan.CrashEpoch(n.cfg.ID)
-	restartAt := n.cfg.Plan.RestartEpoch(n.cfg.ID)
+	me := n.cfg.ID
+	crashAt := n.cfg.Plan.CrashEpoch(me)
+	flapAt := n.cfg.Plan.FlapEpoch(me)
+	rejoinAt := n.cfg.Plan.RejoinEpoch(me)
+	detachAt := -1
+	if d := n.cfg.Plan.DrainEpoch(me); d >= 0 {
+		// The drain is announced at d (gate d proposes switch epoch d+2);
+		// the node transmits epochs [0, d+2) and detaches at d+2.
+		detachAt = d + 2
+	}
 
 	payload := make([]byte, n.cfg.PayloadBytes)
 	prbs := phy.NewPRBS(1)
@@ -424,22 +562,56 @@ func (n *node) txLoop() error {
 	conn, gen := n.currentConn()
 	bw := bufio.NewWriterSize(conn, 64<<10)
 
-	for g := 0; g < n.cfg.Epochs; g++ {
+	g := 0
+	if n.isDormant() {
+		// Expansion joiner: announce attachment to the fabric, then wait
+		// to be welcomed in at an agreed switch epoch.
+		if err := n.announceHello(bw, conn); err != nil {
+			return err
+		}
+		s, err := n.awaitWelcome()
+		if err != nil {
+			return err
+		}
+		g = s
+	}
+
+	for g < n.cfg.Epochs {
 		if g == crashAt {
 			// Fail-stop: die mid-fabric with no farewell. The peers must
 			// notice from silence alone.
-			n.tel.tracer.Instant("crash", "wire.node", n.cfg.ID, nil)
+			n.tel.tracer.Instant("crash", "wire.node", me, nil)
 			n.mu.Lock()
 			n.stats.Crashed = true
-			n.txDone = true
+			failedGen := n.gen
 			if n.conn != nil {
 				n.conn.Close()
 			}
+			if rejoinAt < 0 {
+				n.txDone = true
+				n.detached = true
+				n.cond.Broadcast()
+				n.mu.Unlock()
+				return nil
+			}
+			// A rolling restart is scripted: come back dormant on a fresh
+			// registration and wait for the survivors to re-admit us.
+			n.dormant = true
 			n.cond.Broadcast()
 			n.mu.Unlock()
-			return nil
+			if err := n.relink(failedGen); err != nil {
+				return err
+			}
+			conn, gen = n.currentConn()
+			bw = bufio.NewWriterSize(conn, 64<<10)
+			s, err := n.awaitWelcome()
+			if err != nil {
+				return err
+			}
+			g = s
+			continue
 		}
-		if g == restartAt {
+		if g == flapAt {
 			// Scripted link flap: drop the connection and re-register.
 			n.mu.Lock()
 			failedGen := n.gen
@@ -452,6 +624,55 @@ func (n *node) txLoop() error {
 			}
 			conn, gen = n.currentConn()
 			bw = bufio.NewWriterSize(conn, 64<<10)
+		}
+		if g == detachAt {
+			// Planned drain: the fabric agreed (at gate detachAt-2) that we
+			// stop being scheduled from this epoch. Wait until every cell
+			// addressed to us has arrived — zero loss — then detach.
+			if err := n.drainGate(detachAt); err != nil {
+				return err
+			}
+			n.tel.tracer.Instant("drain-detach", "wire.node", me, nil)
+			n.mu.Lock()
+			n.stats.Drained = true
+			// The plan's drain is consumed by this detach. Without the
+			// guard, a re-added node would re-propose its own long-past
+			// drain (its leaveDone was never set: it detached before ever
+			// applying its own leave) and immediately eject itself.
+			n.leaveDone[me] = true
+			if rejoinAt < 0 {
+				n.txDone = true
+				n.detached = true
+				if n.conn != nil {
+					// Full close (not a half-close): the emulator takes the
+					// EOF as this port's final word.
+					n.conn.Close()
+				}
+				n.cond.Broadcast()
+				n.mu.Unlock()
+				return nil
+			}
+			// Scripted re-add: detach quietly (a planned cycle is not an
+			// incident) and wait dormant for the members' welcome.
+			n.dormant = true
+			n.quietLink = true
+			failedGen := n.gen
+			if n.conn != nil {
+				n.conn.Close()
+			}
+			n.cond.Broadcast()
+			n.mu.Unlock()
+			if err := n.relink(failedGen); err != nil {
+				return err
+			}
+			conn, gen = n.currentConn()
+			bw = bufio.NewWriterSize(conn, 64<<10)
+			s, err := n.awaitWelcome()
+			if err != nil {
+				return err
+			}
+			g = s
+			continue
 		}
 
 		epochStart := time.Now()
@@ -476,6 +697,7 @@ func (n *node) txLoop() error {
 		}
 		n.tel.tracer.Span("epoch", "wire.node", n.cfg.ID, epochStart, nil)
 		n.progress.Add(1)
+		g++
 	}
 
 	n.mu.Lock()
@@ -491,13 +713,117 @@ func (n *node) txLoop() error {
 	return nil
 }
 
-// sendEpoch transmits epoch g's slots under the current schedule.
+// isDormant reports the dormant flag under the lock.
+func (n *node) isDormant() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.dormant
+}
+
+// announceHello sends one hello control cell to every other port: the
+// not-yet-admitted joiner's only permitted transmission. The emulator
+// parks frames for ports that register later, so hellos survive any
+// start order; dormant receivers record them too, so a joiner admitted
+// first still knows about a joiner admitted later.
+func (n *node) announceHello(bw *bufio.Writer, conn net.Conn) error {
+	me := n.cfg.ID
+	conn.SetWriteDeadline(time.Now().Add(n.cfg.Timeout))
+	defer conn.SetWriteDeadline(time.Time{})
+	var encodeBuf []byte
+	for p := 0; p < n.cfg.Nodes; p++ {
+		if p == me {
+			continue
+		}
+		c := cell.Cell{
+			Kind:  cell.KindControl,
+			Flags: cell.FlagHello,
+			Src:   uint16(me),
+			Dst:   uint16(p),
+		}
+		w := uint8((p - me + n.cfg.Nodes) % n.cfg.Nodes)
+		eb := append(encodeBuf[:0], 0, 0, 0, 0, 0)
+		eb = c.Encode(eb)
+		binary.BigEndian.PutUint32(eb[:4], uint32(len(eb)-frameHeader))
+		eb[4] = w
+		encodeBuf = eb
+		if _, err := bw.Write(eb); err != nil {
+			return fmt.Errorf("wire: node %d: hello: %w", me, err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("wire: node %d: hello flush: %w", me, err)
+	}
+	n.tel.tracer.Instant("hello", "wire.node", me, nil)
+	return nil
+}
+
+// awaitWelcome blocks dormant until a member's welcome announces this
+// node's admission switch epoch S, installs the welcomed membership view,
+// and returns S — the epoch at which to start transmitting. The welcome's
+// bitmap is the membership as of S, so the node's state matches every
+// member's exactly at the switch boundary.
+func (n *node) awaitWelcome() (int, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for n.welcomeS < 0 && n.fatalErr == nil {
+		n.cond.Wait()
+	}
+	if n.fatalErr != nil {
+		return 0, n.fatalErr
+	}
+	s := n.welcomeS
+	copy(n.member, n.welcomeMembers)
+	for p := 0; p < n.cfg.Nodes; p++ {
+		// Every node in the welcomed membership is, by the welcome's own
+		// construction, scheduled through epoch s-1.
+		n.heard[p] = s - 1
+		n.suspected[p] = false
+		n.applied[p] = false
+		n.switchEpoch[p] = -1
+		n.joinAt[p] = -1
+		n.leaveAt[p] = -1
+		n.obs.Forgive(p)
+	}
+	// Drop suspicion records that never reached their switch: the
+	// welcomed membership already reflects every resolved failure, and
+	// re-flooding a pre-detach suspicion could poison the new epoch.
+	kept := n.failures[:0]
+	for _, f := range n.failures {
+		if f.SwitchEpoch <= s {
+			kept = append(kept, f)
+		}
+	}
+	n.failures = kept
+	n.welcomeS = -1
+	n.welcomeMembers = nil
+	n.dormant = false
+	n.quietLink = false
+	if err := n.rebuildScheduleLocked(); err != nil {
+		return 0, err
+	}
+	if !n.everMember {
+		n.everMember = true
+		n.stats.JoinedAt = s
+	} else {
+		n.stats.Rejoins++
+	}
+	n.progress.Add(1)
+	n.tel.tracer.Instant("welcome", "wire.node", n.cfg.ID, nil)
+	n.cond.Broadcast()
+	return s, nil
+}
+
+// sendEpoch transmits epoch g's slots under the current schedule, then
+// any welcome control cells owed to pending joiners. Welcomes are control
+// cells: they do not count toward Sent/Received, so the data-cell
+// accounting identities stay exact across lifecycle operations.
 func (n *node) sendEpoch(g int, bw *bufio.Writer, conn net.Conn,
 	prbs *phy.PRBS, payload []byte, encodeBuf *[]byte) error {
 
 	n.mu.Lock()
 	sched, live, myIdx := n.sched, n.live, n.myIdx
-	floods := n.activeFloodsLocked(g)
+	anns := n.activeAnnouncementsLocked(g)
+	welcomes := n.pendingWelcomesLocked(g)
 	n.mu.Unlock()
 
 	conn.SetWriteDeadline(time.Now().Add(n.cfg.Timeout))
@@ -518,9 +844,20 @@ func (n *node) sendEpoch(g int, bw *bufio.Writer, conn net.Conn,
 			Dst:  uint16(dstOrig),
 			Seq:  seq,
 		}
-		if len(floods) > 0 {
-			f := floods[slot%len(floods)]
-			c.SetSuspicion(f.Peer, f.SwitchEpoch)
+		if len(anns) > 0 {
+			// Rotate by epoch as well as slot: a destination sits at the
+			// same slot every epoch, so a fixed slot%k assignment would
+			// show it the same announcement each flood epoch and starve
+			// it of the others.
+			a := anns[(slot+g)%len(anns)]
+			switch a.kind {
+			case annSuspect:
+				c.SetSuspicion(a.node, a.sw)
+			case annJoin:
+				c.SetJoin(a.node, a.sw)
+			case annDrain:
+				c.SetDrain(a.node, a.sw)
+			}
 		}
 		prbs.Reset(prbsSeed(c.Src, c.Dst, seq))
 		prbs.Fill(payload)
@@ -540,6 +877,25 @@ func (n *node) sendEpoch(g int, bw *bufio.Writer, conn net.Conn,
 		n.tel.sent.Inc()
 	}
 	n.addSent(sent)
+	for _, wm := range welcomes {
+		c := cell.Cell{
+			Kind: cell.KindControl,
+			Src:  uint16(n.cfg.ID),
+			Dst:  uint16(wm.node),
+			Seq:  uint32(g) << 8,
+		}
+		c.SetJoin(wm.node, wm.sw)
+		c.Payload = wm.members
+		w := uint8((wm.node - n.cfg.ID + n.cfg.Nodes) % n.cfg.Nodes)
+		eb := append((*encodeBuf)[:0], 0, 0, 0, 0, 0)
+		eb = c.Encode(eb)
+		binary.BigEndian.PutUint32(eb[:4], uint32(len(eb)-frameHeader))
+		eb[4] = w
+		*encodeBuf = eb
+		if _, err := bw.Write(eb); err != nil {
+			return err
+		}
+	}
 	return bw.Flush()
 }
 
@@ -554,17 +910,75 @@ func (n *node) addSent(sent int) {
 	n.mu.Unlock()
 }
 
-// activeFloodsLocked returns the suspicions still being flooded at epoch
-// g: every suspected peer whose switch epoch has not yet passed. Called
-// with n.mu held.
-func (n *node) activeFloodsLocked(g int) []PeerFailure {
-	var out []PeerFailure
+// activeAnnouncementsLocked returns every fact still being flooded at
+// epoch g: suspicions, pending admissions, and pending drains whose
+// agreed switch epoch has not yet passed. Called with n.mu held.
+func (n *node) activeAnnouncementsLocked(g int) []announcement {
+	var out []announcement
 	for _, f := range n.failures {
 		if f.SwitchEpoch > g {
-			out = append(out, f)
+			out = append(out, announcement{kind: annSuspect, node: f.Peer, sw: f.SwitchEpoch})
+		}
+	}
+	for p := 0; p < n.cfg.Nodes; p++ {
+		if n.joinAt[p] > g {
+			out = append(out, announcement{kind: annJoin, node: p, sw: n.joinAt[p]})
+		}
+		if n.leaveAt[p] > g {
+			out = append(out, announcement{kind: annDrain, node: p, sw: n.leaveAt[p]})
 		}
 	}
 	return out
+}
+
+// welcomeMsg is one welcome control cell owed to a pending joiner: the
+// agreed switch epoch and the projected membership bitmap as of it.
+type welcomeMsg struct {
+	node, sw int
+	members  []byte
+}
+
+// pendingWelcomesLocked returns the welcomes to emit during epoch g: one
+// per pending admission whose switch epoch has not yet arrived. Every
+// member sends a welcome in each flood epoch, so a joiner hears one even
+// under grey loss toward some members. Called with n.mu held.
+func (n *node) pendingWelcomesLocked(g int) []welcomeMsg {
+	var out []welcomeMsg
+	for j := 0; j < n.cfg.Nodes; j++ {
+		if j == n.cfg.ID || n.joinAt[j] <= g {
+			continue // no pending admission (joinAt -1), or already due
+		}
+		out = append(out, welcomeMsg{
+			node:    j,
+			sw:      n.joinAt[j],
+			members: n.projectedMembersLocked(n.joinAt[j]),
+		})
+	}
+	return out
+}
+
+// projectedMembersLocked returns the membership bitmap as it will stand
+// at switch epoch s: pending failures and drains due by s removed,
+// pending admissions due by s included. One bit per port, LSB-first
+// within each byte. Called with n.mu held.
+func (n *node) projectedMembersLocked(s int) []byte {
+	bits := make([]byte, (n.cfg.Nodes+7)/8)
+	for p := 0; p < n.cfg.Nodes; p++ {
+		in := n.member[p]
+		if n.suspected[p] && n.switchEpoch[p] >= 0 && n.switchEpoch[p] <= s {
+			in = false
+		}
+		if n.leaveAt[p] >= 0 && n.leaveAt[p] <= s {
+			in = false
+		}
+		if n.joinAt[p] >= 0 && n.joinAt[p] <= s {
+			in = true
+		}
+		if in {
+			bits[p/8] |= 1 << (p % 8)
+		}
+	}
+	return bits
 }
 
 // gate blocks until the node may transmit epoch g: it must have heard
@@ -589,6 +1003,9 @@ func (n *node) gate(g int) (ejected bool, err error) {
 	if ej, err := n.applySwitchesLocked(g); ej || err != nil {
 		return ej, err
 	}
+	hellos := n.proposeLifecycleLocked(g)
+	n.waitingHellos = hellos
+	defer func() { n.waitingHellos = false }()
 
 	deadline := time.Now().Add(n.cfg.SuspectTimeout)
 	timer := time.AfterFunc(n.cfg.SuspectTimeout, func() {
@@ -603,10 +1020,10 @@ func (n *node) gate(g int) (ejected bool, err error) {
 			return false, n.fatalErr
 		}
 		lagging := n.laggingLocked(g)
-		if len(lagging) == 0 {
+		if len(lagging) == 0 && !hellos {
 			return false, nil
 		}
-		if !time.Now().Before(deadline) {
+		if !time.Now().Before(deadline) && len(lagging) > 0 {
 			// Judge the laggards; suspect those over threshold, then pass.
 			for _, p := range lagging {
 				if !n.obs.Judge(p, n.heard[p], g) {
@@ -619,18 +1036,141 @@ func (n *node) gate(g int) (ejected bool, err error) {
 				}
 				n.recordSuspicionLocked(p, g, g+2, false)
 			}
-			return false, nil
+			if !hellos {
+				return false, nil
+			}
+		}
+		n.cond.Wait()
+		hellos = n.proposeLifecycleLocked(g)
+		n.waitingHellos = hellos
+	}
+}
+
+// proposeLifecycleLocked raises this gate's due lifecycle proposals from
+// the shared plan — every member evaluates the same plan against the same
+// (epoch-deterministic) membership state, so proposals need no
+// coordinator. It returns whether the gate must hold for a scripted
+// joiner that has not yet said hello. Called with n.mu held.
+func (n *node) proposeLifecycleLocked(g int) (hellosPending bool) {
+	plan := n.cfg.Plan
+	// Scripted expansions: admit joiner j at the plan-anchored switch
+	// epoch E+2 once it has announced itself. Anchoring to the plan (not
+	// the proposal gate) keeps the switch epoch identical across members
+	// no matter when each one heard the hello.
+	for _, j := range plan.Joiners() {
+		e := plan.ExpandEpoch(j)
+		if e > g || n.member[j] || n.joinAt[j] >= 0 || n.joinDone[j] {
+			continue
+		}
+		if !n.helloSeen[j] {
+			hellosPending = true
+			continue
+		}
+		n.recordJoinLocked(j, e+2)
+	}
+	// Scripted rejoins (restart after crash, re-add after drain): the
+	// switch epoch is g+2 from the first gate at which the node is
+	// scripted back AND actually out of the membership. Membership
+	// evolves identically on every member, so that gate — and hence the
+	// switch epoch — is the same fabric-wide; a freshly welcomed joiner
+	// that proposes one epoch late converges via the flooded minimum.
+	for p := 0; p < n.cfg.Nodes; p++ {
+		if p == n.cfg.ID {
+			continue
+		}
+		if e := plan.RejoinEpoch(p); e >= 0 && e <= g && !n.member[p] &&
+			n.joinAt[p] < 0 && !n.joinDone[p] {
+			n.recordJoinLocked(p, g+2)
+		}
+	}
+	// Planned drains are proposed by every member from the plan (the
+	// draining node included), anchored at DrainEpoch+2; the flooded
+	// drain announcement is redundancy for the same fact.
+	for p := 0; p < n.cfg.Nodes; p++ {
+		if d := plan.DrainEpoch(p); d >= 0 && d <= g && n.member[p] &&
+			n.leaveAt[p] < 0 && !n.leaveDone[p] {
+			n.recordLeaveLocked(p, d+2)
+		}
+	}
+	return hellosPending
+}
+
+// recordJoinLocked registers an agreed admission of node j at switch
+// epoch sw, converging on the minimum exactly like suspicions. Called
+// with n.mu held.
+func (n *node) recordJoinLocked(j, sw int) {
+	if n.member[j] || n.joinDone[j] {
+		return
+	}
+	if n.joinAt[j] >= 0 && n.joinAt[j] <= sw {
+		return
+	}
+	n.joinAt[j] = sw
+	n.cond.Broadcast()
+}
+
+// recordLeaveLocked registers an agreed planned drain of node d at switch
+// epoch sw. Called with n.mu held.
+func (n *node) recordLeaveLocked(d, sw int) {
+	if !n.member[d] || n.leaveDone[d] {
+		return
+	}
+	if n.leaveAt[d] >= 0 && n.leaveAt[d] <= sw {
+		return
+	}
+	n.leaveAt[d] = sw
+	n.cond.Broadcast()
+}
+
+// drainGate blocks a draining node at its switch epoch s until every
+// cell addressed to it has arrived: hearing epoch s-1 from a member
+// means — by per-pair FIFO through the grating — that every earlier cell
+// from that member has been delivered, so detaching after hearing s-1
+// from everyone loses exactly nothing. Members that stay silent past
+// SuspectTimeout are judged like any gate laggard and the detach
+// proceeds optimistically.
+func (n *node) drainGate(s int) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	deadline := time.Now().Add(n.cfg.SuspectTimeout)
+	timer := time.AfterFunc(n.cfg.SuspectTimeout, func() {
+		n.mu.Lock()
+		n.mu.Unlock() //nolint:staticcheck // lock/unlock pairs the broadcast with waiters
+		n.cond.Broadcast()
+	})
+	defer timer.Stop()
+	for {
+		if n.fatalErr != nil {
+			return n.fatalErr
+		}
+		lagging := n.laggingLocked(s)
+		if len(lagging) == 0 {
+			return nil
+		}
+		if !time.Now().Before(deadline) {
+			for _, p := range lagging {
+				if !n.obs.Judge(p, n.heard[p], s) {
+					continue
+				}
+				if p == n.cfg.ID {
+					return fmt.Errorf(
+						"wire: node %d: own transmissions not returning during drain (link dead beyond epoch %d)",
+						n.cfg.ID, n.heard[p])
+				}
+				n.recordSuspicionLocked(p, s, s+2, false)
+			}
+			return nil
 		}
 		n.cond.Wait()
 	}
 }
 
-// laggingLocked lists the unsuspected peers not yet heard at epoch g-1.
-// Called with n.mu held.
+// laggingLocked lists the unsuspected members not yet heard at epoch
+// g-1. Called with n.mu held.
 func (n *node) laggingLocked(g int) []int {
 	var out []int
 	for p := 0; p < n.cfg.Nodes; p++ {
-		if n.suspected[p] {
+		if !n.member[p] || n.suspected[p] {
 			continue
 		}
 		if n.heard[p] < g-1 {
@@ -676,9 +1216,10 @@ func (n *node) recordSuspicionLocked(p, suspectEpoch, sw int, adopted bool) {
 	n.cond.Broadcast()
 }
 
-// applySwitchesLocked folds every suspicion whose switch epoch has
-// arrived into the schedule: the fabric-wide agreed compaction (§4.5).
-// Called with n.mu held.
+// applySwitchesLocked folds every agreed membership change whose switch
+// epoch has arrived into the schedule: failures (§4.5 compaction),
+// planned leaves, and admissions, all on the same fabric-wide epoch
+// boundary. Called with n.mu held.
 func (n *node) applySwitchesLocked(g int) (ejected bool, err error) {
 	changed := false
 	for p := 0; p < n.cfg.Nodes; p++ {
@@ -688,6 +1229,43 @@ func (n *node) applySwitchesLocked(g int) (ejected bool, err error) {
 			// The switch resolves the suspicion: the fabric has agreed
 			// on the failure and routes around it from here on.
 			n.tel.health.ClearCondition(n.tel.peerKey(p))
+			if n.member[p] {
+				n.member[p] = false
+				n.noteChangeLocked(n.switchEpoch[p], p, "fail")
+			}
+		}
+	}
+	for p := 0; p < n.cfg.Nodes; p++ {
+		if n.leaveAt[p] >= 0 && n.leaveAt[p] <= g {
+			if n.member[p] {
+				n.member[p] = false
+				n.noteChangeLocked(n.leaveAt[p], p, "leave")
+				changed = true
+			}
+			n.leaveAt[p] = -1
+			n.leaveDone[p] = true
+		}
+	}
+	for p := 0; p < n.cfg.Nodes; p++ {
+		if n.joinAt[p] >= 0 && n.joinAt[p] <= g {
+			if !n.member[p] {
+				n.member[p] = true
+				n.noteChangeLocked(n.joinAt[p], p, "join")
+				// The joiner transmits from its switch epoch S onward; seed
+				// heard at S-1 so the next gate does not count the pre-S
+				// silence against it, and clear any stale suspicion from a
+				// previous incarnation.
+				if h := n.joinAt[p] - 1; n.heard[p] < h {
+					n.heard[p] = h
+				}
+				n.suspected[p] = false
+				n.applied[p] = false
+				n.switchEpoch[p] = -1
+				n.obs.Forgive(p)
+				changed = true
+			}
+			n.joinAt[p] = -1
+			n.joinDone[p] = true
 		}
 	}
 	if !changed {
@@ -695,32 +1273,44 @@ func (n *node) applySwitchesLocked(g int) (ejected bool, err error) {
 	}
 	n.tel.switches.Inc()
 	n.tel.tracer.Instant("schedule-switch", "wire.node", n.cfg.ID, nil)
-	var failed []int
-	for p := 0; p < n.cfg.Nodes; p++ {
-		if n.applied[p] {
-			failed = append(failed, p)
-		}
-	}
-	if n.applied[n.cfg.ID] {
+	if !n.member[n.cfg.ID] {
+		// Only the failure path reaches this: a planned drain detaches in
+		// txLoop before gating past its own leave epoch.
 		n.stats.Ejected = true
 		n.tel.ejected.Inc()
 		return true, nil
 	}
-	base, err := schedule.NewGrouped(n.cfg.Nodes, n.cfg.Nodes, 1)
-	if err != nil {
-		return false, err
+	return false, n.rebuildScheduleLocked()
+}
+
+// rebuildScheduleLocked recomputes the compacted schedule from the
+// current membership. Called with n.mu held.
+func (n *node) rebuildScheduleLocked() error {
+	var inactive []int
+	for p := 0; p < n.cfg.Nodes; p++ {
+		if !n.member[p] {
+			inactive = append(inactive, p)
+		}
 	}
-	compacted, live, err := schedule.Compact(base, failed)
+	compacted, live, err := schedule.Compact(n.base, inactive)
 	if err != nil {
-		return false, fmt.Errorf("wire: node %d: compact: %w", n.cfg.ID, err)
+		return fmt.Errorf("wire: node %d: compact: %w", n.cfg.ID, err)
 	}
 	n.sched, n.live = compacted, live
+	n.myIdx = -1
 	for i, orig := range live {
 		if orig == n.cfg.ID {
 			n.myIdx = i
 		}
 	}
-	return false, nil
+	return nil
+}
+
+// noteChangeLocked appends a membership-change record to the node's
+// stats timeline. Called with n.mu held.
+func (n *node) noteChangeLocked(epoch, p int, kind string) {
+	n.stats.Changes = append(n.stats.Changes,
+		MemberChange{Epoch: epoch, Node: p, Kind: kind})
 }
 
 // ---- Receive side ----
@@ -734,13 +1324,13 @@ func (n *node) rxLoop() {
 		if conn == nil {
 			// Between relinks; wait for a replacement or the end.
 			n.mu.Lock()
-			for n.gen == gen && n.fatalErr == nil && !(n.txDone && n.stats.Crashed) {
+			for n.gen == gen && n.fatalErr == nil && !n.detached {
 				n.cond.Wait()
 			}
-			crashed := n.stats.Crashed
+			detached := n.detached
 			fatal := n.fatalErr != nil
 			n.mu.Unlock()
-			if fatal || crashed {
+			if fatal || detached {
 				n.finishRx(nil)
 				return
 			}
@@ -751,12 +1341,12 @@ func (n *node) rxLoop() {
 		n.mu.Lock()
 		replaced := n.gen != gen
 		txDone := n.txDone
-		crashed := n.stats.Crashed
+		detached := n.detached
 		fatal := n.fatalErr != nil
 		n.mu.Unlock()
 
 		switch {
-		case fatal || crashed:
+		case fatal || detached:
 			n.finishRx(nil)
 			return
 		case replaced:
@@ -821,6 +1411,40 @@ func (n *node) handleCell(raw []byte, prbs *phy.PRBS) {
 	defer n.mu.Unlock()
 	defer n.cond.Broadcast()
 
+	if n.dormant {
+		// A dormant (not-yet-admitted) node acts on control traffic only:
+		// hellos from fellow joiners, and the welcome addressed to it. All
+		// data cells are discarded unreceived — it is not a member yet, so
+		// nothing is scheduled toward it and nothing counts.
+		if c.Kind == cell.KindControl {
+			if c.Flags&cell.FlagHello != 0 && src >= 0 && src < n.cfg.Nodes {
+				n.helloSeen[src] = true
+			}
+			if j, sw, ok := c.Join(); ok && j == n.cfg.ID && int(c.Dst) == n.cfg.ID {
+				if n.welcomeS < 0 || sw < n.welcomeS {
+					n.welcomeS = sw
+					// c.Payload aliases the rx buffer: decode the membership
+					// bitmap into a fresh slice before the next read.
+					members := make([]bool, n.cfg.Nodes)
+					for p := 0; p < n.cfg.Nodes && p/8 < len(c.Payload); p++ {
+						members[p] = c.Payload[p/8]&(1<<(p%8)) != 0
+					}
+					n.welcomeMembers = members
+				}
+			}
+		}
+		return
+	}
+	if c.Kind == cell.KindControl {
+		// Hellos matter to members (they gate scripted expansions); stale
+		// welcomes addressed to an already-admitted node do not. Control
+		// cells never advance heard — they ride outside the schedule.
+		if c.Flags&cell.FlagHello != 0 && src >= 0 && src < n.cfg.Nodes {
+			n.helloSeen[src] = true
+		}
+		return
+	}
+
 	if src >= 0 && src < n.cfg.Nodes && ep > n.heard[src] {
 		n.heard[src] = ep
 	}
@@ -828,6 +1452,12 @@ func (n *node) handleCell(raw []byte, prbs *phy.PRBS) {
 		// Adopt the flooded suspicion: the originator judged at sw-2 and
 		// the flood makes it fabric-wide knowledge by sw-1.
 		n.recordSuspicionLocked(p, sw-2, sw, true)
+	}
+	if p, sw, ok := c.Join(); ok && p >= 0 && p < n.cfg.Nodes {
+		n.recordJoinLocked(p, sw)
+	}
+	if p, sw, ok := c.Drain(); ok && p >= 0 && p < n.cfg.Nodes {
+		n.recordLeaveLocked(p, sw)
 	}
 	if c.Kind != cell.KindData {
 		return

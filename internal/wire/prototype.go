@@ -88,6 +88,12 @@ type FaultStats struct {
 	// (-1 otherwise).
 	KillEpoch, SuspectEpoch, ConfirmEpoch, SwitchEpoch int
 
+	// Dropped and GreyDropped mirror the emulator's loss counters: frames
+	// lost to dead/over-parked ports and frames blackholed by Grey fault
+	// windows. A planned-operations-only run (drains, re-adds, expansion)
+	// must finish with both at zero — lifecycle transitions lose nothing.
+	Dropped, GreyDropped int64
+
 	// DegradedGoodput is the survivors' mean slot utilization between the
 	// failure and the schedule switch: cells received per survivor-epoch
 	// over the original schedule's slot count ((N-1)/N when one node is
@@ -186,6 +192,8 @@ func RunPrototypeCfg(cfg PrototypeConfig) (*FaultStats, error) {
 		KillEpoch: -1, SuspectEpoch: -1, ConfirmEpoch: -1, SwitchEpoch: -1,
 	}
 	fs.Routed = em.Routed()
+	fs.Dropped = em.Dropped()
+	fs.GreyDropped = em.GreyDropped()
 	var bits, bitErrs int64
 	for _, st := range stats {
 		fs.Nodes = append(fs.Nodes, *st)
@@ -215,6 +223,12 @@ func (fs *FaultStats) fillFailureView(cfg PrototypeConfig, stats []*NodeStats) e
 	first := true
 	for _, st := range stats {
 		if st.Crashed || st.Ejected {
+			continue
+		}
+		// Consensus is asserted over full-timeline founders only: a node
+		// that joined, drained, or rejoined mid-run legitimately holds a
+		// partial failure view (awaitWelcome trims it to its admission).
+		if st.Drained || st.Rejoins > 0 || st.JoinedAt > 0 {
 			continue
 		}
 		view := append([]PeerFailure(nil), st.Failures...)

@@ -135,7 +135,7 @@ func TestLiveTelemetryReconnectFlap(t *testing.T) {
 	h := telemetry.NewHealth(64)
 
 	plan := &fault.Plan{Seed: 7, Events: []fault.Event{
-		{Kind: fault.Restart, Node: victim, Epoch: flapAt},
+		{Kind: fault.Flap, Node: victim, Epoch: flapAt},
 	}}
 	cfg := faultCfg(nodes, epochs, plan)
 	cfg.Telemetry = reg

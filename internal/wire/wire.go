@@ -111,8 +111,13 @@ func ReadFrame(r io.Reader) (wavelength uint8, cellBytes []byte, err error) {
 // never take the fabric down — the emulator rejects and keeps accepting.
 
 const (
-	hsMagic    = 0xA7
-	hsVersion  = 1
+	hsMagic = 0xA7
+	// hsVersion 2 added the lifecycle plane (join/drain/hello cell flags
+	// and dormant registrations). The version byte bumps only for
+	// semantics-bearing changes a v1 peer would misinterpret — purely
+	// additive, ignorable extensions do not bump it (see
+	// docs/PROTOCOL.md, "Version byte bump rules").
+	hsVersion  = 2
 	hsLen      = 4
 	hsReplyLen = 2
 )

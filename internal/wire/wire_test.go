@@ -192,7 +192,7 @@ func TestEmulatorRejectsBadHandshake(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	badConn.Write([]byte{0xA7, 1, 99, 0}) // port out of range
+	badConn.Write([]byte{0xA7, hsVersion, 99, 0}) // port out of range
 	var reply [hsReplyLen]byte
 	if _, err := io.ReadFull(badConn, reply[:]); err != nil {
 		t.Fatalf("no reject reply: %v", err)

@@ -149,7 +149,7 @@ func TestSoakFaultyFabric(t *testing.T) {
 	)
 	plan := &fault.Plan{Seed: 2024, Events: []fault.Event{
 		{Kind: fault.Stall, Src: 0, Epoch: 20, Until: 40, DelayMicros: 200},
-		{Kind: fault.Restart, Node: 1, Epoch: 30},
+		{Kind: fault.Flap, Node: 1, Epoch: 30},
 		{Kind: fault.Grey, Src: 3, Dst: 0, Epoch: 80, Until: 82},
 		{Kind: fault.Degrade, Src: 2, Epoch: 100, Until: 200, FlipProb: 5e-5},
 		{Kind: fault.Crash, Node: 4, Epoch: 60},
