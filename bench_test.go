@@ -12,6 +12,7 @@ package sirius
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"os"
 	"runtime"
 	"testing"
@@ -25,6 +26,7 @@ import (
 	"sirius/internal/optics"
 	"sirius/internal/phy"
 	"sirius/internal/rng"
+	"sirius/internal/sched"
 	"sirius/internal/schedule"
 	"sirius/internal/simtime"
 	"sirius/internal/sweep"
@@ -946,4 +948,147 @@ func BenchmarkSweepCacheWarm(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// ---- The scheduler subsystem: per-epoch planning throughput ----
+
+// schedBenchCases is the matchings/s grid for the pluggable planners
+// (DESIGN.md §10): every family at three fabric sizes, geometry matched
+// to the grouped core grid (uplinks = n/ports, epoch = ports slots).
+// The demand-aware families (pulse, negotiator) do real per-epoch work
+// proportional to live traffic; the static adapter and the round-robin
+// rotor bound the cost of the interface itself.
+var schedBenchCases = []struct {
+	family string
+	n      int
+	ports  int
+}{
+	{"static", 64, 8}, {"static", 256, 16}, {"static", 1024, 32},
+	{"rotorrr", 64, 8}, {"rotorrr", 256, 16}, {"rotorrr", 1024, 32},
+	{"pulse", 64, 8}, {"pulse", 256, 16}, {"pulse", 1024, 32},
+	{"negotiator", 64, 8}, {"negotiator", 256, 16}, {"negotiator", 1024, 32},
+}
+
+// schedBenchRecord is one measured row of BENCH_sched.json. A matching
+// is one fabric-wide slot assignment, so matchings/s = plans/s × epoch
+// slots; reconfig_slots_per_epoch is the dark link-slots the family
+// charged per Plan on this workload (static is 0 by construction).
+type schedBenchRecord struct {
+	NsPerPlan             float64 `json:"ns_per_plan"`
+	MatchingsSec          float64 `json:"matchings_per_sec"`
+	ReconfigSlotsPerEpoch float64 `json:"reconfig_slots_per_epoch"`
+	GOMAXPROCS            int     `json:"gomaxprocs"`
+}
+
+// writeBenchSched merges freshly measured rows into BENCH_sched.json,
+// preserving rows from earlier (possibly partial) runs — the same
+// discipline as writeBenchCore.
+func writeBenchSched(b *testing.B, after map[string]schedBenchRecord) {
+	b.Helper()
+	doc := map[string]json.RawMessage{}
+	if data, err := os.ReadFile("BENCH_sched.json"); err == nil {
+		_ = json.Unmarshal(data, &doc) // corrupt artifact: rebuild from scratch
+	}
+	rows := map[string]json.RawMessage{}
+	if prev, ok := doc["after"]; ok {
+		_ = json.Unmarshal(prev, &rows)
+	}
+	for name, rec := range after {
+		raw, err := json.Marshal(rec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows[name] = raw
+	}
+	set := func(key string, v interface{}) {
+		raw, err := json.Marshal(v)
+		if err != nil {
+			b.Fatal(err)
+		}
+		doc[key] = raw
+	}
+	set("benchmark", "BenchmarkSchedulerPlans")
+	set("config", map[string]interface{}{
+		"seed": 1, "reconfig_slots": 1, "demand": "uniform random 0..7 cells per pair",
+		"note": "uplinks = n/ports, epoch = ports slots; matchings/s = plans/s x epoch slots",
+	})
+	set("after", rows)
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_sched.json", append(data, '\n'), 0o644); err != nil {
+		b.Logf("BENCH_sched.json not written: %v", err)
+	}
+}
+
+// benchPlanner builds a fresh planner for one schedBenchCases row.
+func benchPlanner(b *testing.B, family string, n, ports int) core.Planner {
+	b.Helper()
+	uplinks, slots := n/ports, ports
+	switch family {
+	case "static":
+		g, err := schedule.NewGrouped(n, ports, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return sched.NewStatic(g)
+	case "rotorrr":
+		p, err := sched.NewRotorRR(n, uplinks, slots, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return p
+	case "pulse":
+		p, err := sched.NewPULSE(n, uplinks, slots, 1, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return p
+	case "negotiator":
+		p, err := sched.NewNegotiaToR(n, uplinks, slots, 1, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return p
+	}
+	b.Fatalf("unknown family %q", family)
+	return nil
+}
+
+func BenchmarkSchedulerPlans(b *testing.B) {
+	// Pure planning throughput: epochs planned per wall second for each
+	// scheduler family, outside the simulator. Running any subset of the
+	// grid updates the matching rows of BENCH_sched.json in place.
+	after := make(map[string]schedBenchRecord)
+	for _, tc := range schedBenchCases {
+		name := fmt.Sprintf("%s/n%d", tc.family, tc.n)
+		b.Run(name, func(b *testing.B) {
+			p := benchPlanner(b, tc.family, tc.n, tc.ports)
+			r := rng.New(1)
+			demand := make([]int32, tc.n*tc.n)
+			for i := range demand {
+				demand[i] = int32(r.Intn(8))
+			}
+			dst := make([]int32, p.SlotsPerEpoch()*tc.n*p.Uplinks())
+			var reconfig int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				reconfig += int64(p.Plan(int64(i), demand, dst))
+			}
+			b.StopTimer()
+			plansSec := float64(b.N) / b.Elapsed().Seconds()
+			b.ReportMetric(plansSec*float64(p.SlotsPerEpoch()), "matchings/s")
+			after[name] = schedBenchRecord{
+				NsPerPlan:             float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+				MatchingsSec:          plansSec * float64(p.SlotsPerEpoch()),
+				ReconfigSlotsPerEpoch: float64(reconfig) / float64(b.N),
+				GOMAXPROCS:            runtime.GOMAXPROCS(0),
+			}
+		})
+	}
+	if len(after) == 0 {
+		return
+	}
+	writeBenchSched(b, after)
 }

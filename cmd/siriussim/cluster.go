@@ -39,10 +39,18 @@ type clusterSpec struct {
 }
 
 // sweepExps are the experiments that run on the sweep engine — the only
-// ones the cluster roles can distribute.
-var sweepExps = map[string]bool{
-	"fig9": true, "fig10": true, "fig11": true, "fig12": true, "fig13": true,
-	"failure": true, "servers": true, "ablation": true,
+// ones the cluster roles can distribute. Values are the one-line
+// descriptions -exp list prints.
+var sweepExps = map[string]string{
+	"fig9":        "Fig 9: short-flow p99 FCT and goodput vs load (Sirius vs ESN)",
+	"fig10":       "Fig 10: queue bound Q sweep — FCT, goodput, peak queue/reorder",
+	"fig11":       "Fig 11: FCT vs guardband at high load (slot scaled with it)",
+	"fig12":       "Fig 12: goodput vs load for 1x/1.5x/2x uplink provisioning",
+	"fig13":       "Fig 13: FCT and goodput vs mean flow size (cell-padding tax)",
+	"failure":     "§4.5: node failures — degraded vs compacted schedule",
+	"servers":     "§7: server-level metrics on the rack-based deployment",
+	"ablation":    "ablations: pricing the design choices one knob at a time",
+	"archcompare": "scheduler families (static/rotorrr/pulse/negotiator) vs ESN on one flow sample",
 }
 
 // runSweepExp dispatches one sweep-shaped experiment onto rn with the
@@ -67,8 +75,11 @@ func runSweepExp(ctx context.Context, rn *sweep.Runner, name string, sc exp.Scal
 		return exp.ServerLevel(ctx, rn, sc, 8, loads)
 	case "ablation":
 		return exp.Ablation(ctx, rn, sc, 0.75)
+	case "archcompare":
+		return exp.ArchCompare(ctx, rn, sc, loads,
+			[]float64{4096, 100e3}, []float64{0, 0.5})
 	}
-	return nil, fmt.Errorf("%q is not a sweep experiment (cluster roles take one of fig9 fig10 fig11 fig12 fig13 failure servers ablation)", name)
+	return nil, fmt.Errorf("%q is not a sweep experiment (cluster roles take one of fig9 fig10 fig11 fig12 fig13 failure servers ablation archcompare)", name)
 }
 
 // expandSweep expands the named experiment's point set without executing

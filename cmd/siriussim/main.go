@@ -7,7 +7,8 @@
 //
 // Experiments: fig2a fig6a fig6b tuning lasers fig8a fig8b fig8c fig8d
 // timesync budget burst proto livefailure lifecycle fig9 fig10 fig11
-// fig12 fig13 failure servers ablation custom (with -trace).
+// fig12 fig13 failure servers ablation archcompare custom (with -trace).
+// -exp list enumerates them all with one-line descriptions.
 //
 // The sweep-shaped experiments (fig9–fig13, failure, servers, ablation)
 // run on the internal/sweep engine: grid points execute on a bounded
@@ -239,7 +240,7 @@ func run(args []string) int {
 	// leased to a worker instead of computed here.
 	var coord *cluster.Coordinator
 	if *serveAddr != "" {
-		if !sweepExps[*name] {
+		if _, ok := sweepExps[*name]; !ok {
 			fmt.Fprintf(os.Stderr, "-serve requires a single sweep experiment, not %q\n", *name)
 			return 2
 		}
@@ -272,43 +273,59 @@ func run(args []string) int {
 			*name, coord.Addr(), len(points[*name]), *leaseTTL)
 	}
 
-	runners := map[string]func() (*exp.Table, error){
-		"fig2a":    func() (*exp.Table, error) { return exp.Fig2a(), nil },
-		"fig6a":    func() (*exp.Table, error) { return exp.Fig6a(), nil },
-		"fig6b":    func() (*exp.Table, error) { return exp.Fig6b(), nil },
-		"tuning":   func() (*exp.Table, error) { return exp.Tuning(), nil },
-		"lasers":   func() (*exp.Table, error) { return exp.LaserDesigns(), nil },
-		"fig8a":    func() (*exp.Table, error) { return exp.Fig8a(), nil },
-		"fig8b":    func() (*exp.Table, error) { return exp.Fig8b(), nil },
-		"fig8c":    func() (*exp.Table, error) { return exp.Fig8c(), nil },
-		"fig8d":    func() (*exp.Table, error) { return exp.Fig8d(), nil },
-		"timesync": func() (*exp.Table, error) { return exp.Timesync(*epochs), nil },
-		"budget":   func() (*exp.Table, error) { return exp.LinkBudget(), nil },
-		"burst":    func() (*exp.Table, error) { return exp.Burst(), nil },
-		"proto":    func() (*exp.Table, error) { return exp.Prototype(4, 200) },
-		"livefailure": func() (*exp.Table, error) {
+	// experiment pairs a runner with the one-line description -exp list
+	// prints; the registry is the single place experiments are declared.
+	type experiment struct {
+		desc string
+		run  func() (*exp.Table, error)
+	}
+	runners := map[string]experiment{
+		"fig2a":    {"Fig 2a: scale tax — network power per bisection bandwidth", func() (*exp.Table, error) { return exp.Fig2a(), nil }},
+		"fig6a":    {"Fig 6a: Sirius/ESN power vs tunable-to-fixed laser power ratio", func() (*exp.Table, error) { return exp.Fig6a(), nil }},
+		"fig6b":    {"Fig 6b: Sirius/ESN cost vs grating cost fraction", func() (*exp.Table, error) { return exp.Fig6b(), nil }},
+		"tuning":   {"§3.2/§6: laser tuning latency", func() (*exp.Table, error) { return exp.Tuning(), nil }},
+		"lasers":   {"§3.3: disaggregated tunable laser designs", func() (*exp.Table, error) { return exp.LaserDesigns(), nil }},
+		"fig8a":    {"Fig 8a: CDF of SOA rise and fall times", func() (*exp.Table, error) { return exp.Fig8a(), nil }},
+		"fig8b":    {"Fig 8b: switching between adjacent and distant wavelengths", func() (*exp.Table, error) { return exp.Fig8b(), nil }},
+		"fig8c":    {"Fig 8c: burst waveform over consecutive cell slots", func() (*exp.Table, error) { return exp.Fig8c(), nil }},
+		"fig8d":    {"Fig 8d: BER vs received power for four wavelengths", func() (*exp.Table, error) { return exp.Fig8d(), nil }},
+		"timesync": {"§6: time-synchronization accuracy", func() (*exp.Table, error) { return exp.Timesync(*epochs), nil }},
+		"budget":   {"§4.5: link budget and laser sharing", func() (*exp.Table, error) { return exp.LinkBudget(), nil }},
+		"burst":    {"§2.2: packet-size mixture and the 10 ns guardband target", func() (*exp.Table, error) { return exp.Burst(), nil }},
+		"proto":    {"§6: prototype emulation — cyclic schedule + PRBS over TCP AWGR", func() (*exp.Table, error) { return exp.Prototype(4, 200) }},
+		"livefailure": {"§4.5 live: node kill on the wire testbed — detect, flood, compact", func() (*exp.Table, error) {
 			return exp.LiveFailure(4, 40, 2, 10, *seed)
-		},
-		"lifecycle": func() (*exp.Table, error) { return exp.Lifecycle(*seed) },
-		"custom": func() (*exp.Table, error) {
+		}},
+		"lifecycle": {"lifecycle soak: expansion, drain/re-add, crash and load shifts", func() (*exp.Table, error) { return exp.Lifecycle(*seed) }},
+		"custom": {"flow-trace replay from -trace CSV (arrival_ns,src,dst,bytes)", func() (*exp.Table, error) {
 			if *trace == "" {
 				return nil, fmt.Errorf("-exp custom needs -trace <file.csv>")
 			}
 			return exp.FromTraceFile(ctx, *trace, *ports, 1)
-		},
+		}},
 	}
 	// The sweep-shaped experiments all dispatch through runSweepExp — the
 	// single source of truth for each experiment's grid, shared with the
 	// cluster worker role so distributed point expansion can never drift
 	// from what runs here.
-	for id := range sweepExps {
+	for id, desc := range sweepExps {
 		id := id
-		runners[id] = func() (*exp.Table, error) { return runSweepExp(ctx, runner, id, sc, loadList) }
+		runners[id] = experiment{desc, func() (*exp.Table, error) { return runSweepExp(ctx, runner, id, sc, loadList) }}
 	}
 
 	order := []string{"fig2a", "fig6a", "fig6b", "tuning", "lasers", "fig8a", "fig8b",
 		"fig8c", "fig8d", "timesync", "budget", "burst", "proto", "livefailure", "lifecycle",
-		"fig9", "fig10", "fig11", "fig12", "fig13", "failure", "servers", "ablation"}
+		"fig9", "fig10", "fig11", "fig12", "fig13", "failure", "servers", "ablation",
+		"archcompare"}
+
+	// -exp list: enumerate the registry (run order first, then the
+	// trace-driven extra) and exit without running anything.
+	if *name == "list" {
+		for _, id := range append(append([]string{}, order...), "custom") {
+			fmt.Printf("%-12s %s\n", id, runners[id].desc)
+		}
+		return 0
+	}
 
 	started := time.Now()
 	var failures []string
@@ -361,7 +378,7 @@ func run(args []string) int {
 		flows0, events0 := fluid.Counters()
 		dcFlows0, racks0 := dc.Counters()
 		t0 := time.Now()
-		tab, err := r()
+		tab, err := r.run()
 		tracer.Span(id, "experiment", 0, t0, nil)
 		if *perf || *perfJSON != "" {
 			wall := time.Since(t0)

@@ -82,10 +82,41 @@ const (
 	ModeDirect
 )
 
+// Planner is a dynamic scheduler: instead of a fixed cyclic table, the
+// core samples the demand matrix at every epoch boundary and asks the
+// planner for the coming epoch's matchings. It is structurally
+// identical to sched.Scheduler (the consumer-side mirror, so the core
+// does not depend on internal/sched); any sched implementation
+// satisfies it. Plan fills dst — laid out like the internal schedule
+// table, [(slot*nodes+node)*uplinks+uplink], -1 = dark — and returns
+// the link-slots left dark to pay for reconfiguration. The core calls
+// Reset once per run and then Plan serially from the coordinator
+// goroutine, identically in the serial and sharded engines, so a
+// deterministic planner keeps runs byte-identical at a fixed seed. A
+// Planner instance must not be shared between concurrent runs.
+type Planner interface {
+	Nodes() int
+	Uplinks() int
+	SlotsPerEpoch() int
+	ConnectionsPerEpoch() int
+	Plan(epoch int64, demand []int32, dst []int32) (reconfigLinkSlots int)
+	Reset()
+}
+
 // Config parameterizes a simulation run.
 type Config struct {
 	// Schedule is the static cyclic schedule (grouped or rotor).
+	// Exactly one of Schedule and Planner must be set.
 	Schedule schedule.Schedule
+	// Planner, when set, replaces the static schedule with a dynamic
+	// per-epoch scheduler (internal/sched): at every epoch boundary the
+	// core snapshots the queued-cell demand matrix (LOCAL backlog, plus
+	// staged destination VOQs in ModeDirect) and replans the epoch's
+	// connection table. Demand-aware planners (PULSE, NegotiaToR) only
+	// light links that carry demand, so they should run in ModeDirect —
+	// the request/grant and ideal-VLB modes assume all-pairs coverage
+	// within an epoch, which only demand-oblivious planners guarantee.
+	Planner Planner
 	// Slot is the timeslot structure (cell size, line rate, guardband).
 	Slot phy.Slot
 	// Q is the per-destination queue bound at intermediates, expressed
@@ -182,6 +213,11 @@ type Results struct {
 	// DirectFraction is the fraction of cells that reached their
 	// destination without a detour (intermediate == destination).
 	DirectFraction float64
+	// ReconfigLinkSlots counts link-slots left dark to pay for fabric
+	// reconfiguration, as reported by the Planner (zero for static
+	// schedules). The epoch's total link-slots — Slots × nodes ×
+	// uplinks — is the denominator for an overhead fraction.
+	ReconfigLinkSlots int64
 	// PerFlowFCT holds each flow's completion time, indexed like the
 	// input flows (only when Config.KeepPerFlow is set).
 	PerFlowFCT []simtime.Duration
@@ -304,6 +340,14 @@ type sim struct {
 	demandCands  []int32 // scratch: nonempty destinations
 	demandCounts []int32 // scratch: their queue lengths
 
+	// Dynamic-planner state (Config.Planner != nil): the demand matrix
+	// snapshot handed to Plan each epoch, the indices dirtied last
+	// epoch (so clearing is proportional to live traffic, not n²), and
+	// the accumulated reconfiguration overhead.
+	planDemand    []int32
+	planTouched   []int32
+	reconfigSlots int64
+
 	// Telemetry accumulators: plain (non-atomic) counts bumped on the
 	// hot path and flushed into the telemetry registry once per run
 	// (flushTelemetry). Plain int64 slice writes keep the slot loop
@@ -341,8 +385,8 @@ func RunContext(ctx context.Context, cfg Config, flows []workload.Flow) (*Result
 // split from RunContext so the white-box performance tests can drive the
 // slot loop directly (see alloc_test.go).
 func newSim(ctx context.Context, cfg Config, flows []workload.Flow) (*sim, error) {
-	if cfg.Schedule == nil {
-		return nil, fmt.Errorf("core: nil schedule")
+	if (cfg.Schedule == nil) == (cfg.Planner == nil) {
+		return nil, fmt.Errorf("core: exactly one of Schedule and Planner must be set")
 	}
 	if cfg.Slot.CellBytes <= cell.HeaderLen {
 		return nil, fmt.Errorf("core: cell size %dB does not fit the %dB header",
@@ -357,7 +401,18 @@ func newSim(ctx context.Context, cfg Config, flows []workload.Flow) (*sim, error
 	if cfg.NormalizeRate <= 0 {
 		return nil, fmt.Errorf("core: non-positive normalize rate")
 	}
-	n := cfg.Schedule.Nodes()
+	var n, uplinks, epochE, k int
+	if cfg.Planner != nil {
+		n, uplinks = cfg.Planner.Nodes(), cfg.Planner.Uplinks()
+		epochE, k = cfg.Planner.SlotsPerEpoch(), cfg.Planner.ConnectionsPerEpoch()
+	} else {
+		n, uplinks = cfg.Schedule.Nodes(), cfg.Schedule.Uplinks()
+		epochE, k = cfg.Schedule.SlotsPerEpoch(), cfg.Schedule.ConnectionsPerEpoch()
+	}
+	if n < 2 || uplinks < 1 || epochE < 1 || k < 1 {
+		return nil, fmt.Errorf("core: invalid fabric geometry (n=%d uplinks=%d epoch=%d k=%d)",
+			n, uplinks, epochE, k)
+	}
 	var failed []bool
 	if len(cfg.FailedNodes) > 0 {
 		failed = make([]bool, n)
@@ -381,9 +436,9 @@ func newSim(ctx context.Context, cfg Config, flows []workload.Flow) (*sim, error
 		ctx:     ctx,
 		cfg:     cfg,
 		n:       n,
-		uplinks: cfg.Schedule.Uplinks(),
-		epochE:  cfg.Schedule.SlotsPerEpoch(),
-		k:       cfg.Schedule.ConnectionsPerEpoch(),
+		uplinks: uplinks,
+		epochE:  epochE,
+		k:       k,
 		payload: cfg.Slot.CellBytes - cell.HeaderLen,
 		hop2:    cfg.HopPropagation * 2,
 		flows:   flows,
@@ -443,10 +498,20 @@ func newSim(ctx context.Context, cfg Config, flows []workload.Flow) (*sim, error
 	}
 	s.failed = failed
 	s.dstTable = make([]int32, s.epochE*n*s.uplinks)
-	for e := 0; e < s.epochE; e++ {
-		for node := 0; node < n; node++ {
-			for u := 0; u < s.uplinks; u++ {
-				s.dstTable[(e*n+node)*s.uplinks+u] = int32(cfg.Schedule.Dst(node, u, e))
+	if cfg.Planner != nil {
+		// The table starts all-dark; the first epoch boundary plans it.
+		for i := range s.dstTable {
+			s.dstTable[i] = -1
+		}
+		cfg.Planner.Reset()
+		s.planDemand = make([]int32, n*n)
+		s.planTouched = make([]int32, 0, n)
+	} else {
+		for e := 0; e < s.epochE; e++ {
+			for node := 0; node < n; node++ {
+				for u := 0; u < s.uplinks; u++ {
+					s.dstTable[(e*n+node)*s.uplinks+u] = int32(cfg.Schedule.Dst(node, u, e))
+				}
 			}
 		}
 	}
@@ -614,6 +679,7 @@ func (s *sim) run() (*Results, error) {
 	if s.total > 0 {
 		res.DirectFraction = float64(s.direct) / float64(s.total)
 	}
+	res.ReconfigLinkSlots = s.reconfigSlots
 	denom := float64(s.n) * float64(s.cfg.NormalizeRate)
 	if res.SimTime > 0 {
 		res.MakespanGoodput = float64(s.deliveredB) * 8 / (res.SimTime.Seconds() * denom)
@@ -648,6 +714,9 @@ func (s *sim) run() (*Results, error) {
 // active node set, not the topology size.
 func (s *sim) step(e int, deliverAt simtime.Time) {
 	if e == 0 {
+		if s.cfg.Planner != nil {
+			s.replan()
+		}
 		s.epochBoundary()
 	}
 	row := s.dstTable[e*s.n*s.uplinks : (e+1)*s.n*s.uplinks]
@@ -751,6 +820,52 @@ func (s *sim) consume(node, dst int) int64 {
 	seq := s.consumed[f]
 	s.consumed[f]++
 	return cellRef(f, seq)
+}
+
+// replan runs the dynamic planner at an epoch boundary: snapshot the
+// demand matrix (read-only — unlike demandScan this never touches the
+// round-robin cursors), let the planner rewrite the epoch's connection
+// table, and refresh the sharded engine's derived indices. It runs on
+// the coordinator goroutine before the epoch's control plane, at the
+// same point in the slot timeline in both engines, so a deterministic
+// planner preserves byte-identical serial/sharded replay.
+func (s *sim) replan() {
+	d := s.planDemand
+	for _, idx := range s.planTouched {
+		d[idx] = 0
+	}
+	s.planTouched = s.planTouched[:0]
+	n := s.n
+	for node := s.localActive.next(0); node >= 0; node = s.localActive.next(node + 1) {
+		base := node * n
+		row := s.dstRow(node)
+		for dst := row.next(0); dst >= 0; dst = row.next(dst + 1) {
+			if d[base+dst] == 0 {
+				s.planTouched = append(s.planTouched, int32(base+dst))
+			}
+			d[base+dst] += int32(s.byDst[base+dst].len())
+		}
+	}
+	if s.cfg.Mode == ModeDirect {
+		// Cells already staged in the destination VOQs are still unserved
+		// demand: ModeDirect's boundary drains LOCAL into them wholesale,
+		// so LOCAL alone would go blind after one epoch.
+		for node := s.workActive.next(0); node >= 0; node = s.workActive.next(node + 1) {
+			base := node * n
+			for dst := 0; dst < n; dst++ {
+				if l := s.voq[base+dst].len(); l > 0 {
+					if d[base+dst] == 0 {
+						s.planTouched = append(s.planTouched, int32(base+dst))
+					}
+					d[base+dst] += int32(l)
+				}
+			}
+		}
+	}
+	s.reconfigSlots += int64(s.cfg.Planner.Plan(s.epoch, d, s.dstTable))
+	if s.sh != nil {
+		s.sh.rebuildIndex()
+	}
 }
 
 // epochBoundary runs the control plane for the coming epoch.

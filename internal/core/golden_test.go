@@ -103,8 +103,16 @@ func goldenCase(t *testing.T, mutate func(*Config)) (Config, []workload.Flow) {
 	return cfg, flows
 }
 
-func TestGoldenDeterminism(t *testing.T) {
-	cases := []struct {
+// goldenCases is the fixture grid, shared with the sharded byte-identity
+// tests (shard_test.go). The sched_* cases drive the dynamic-planner
+// path (Config.Planner) through each scheduler family in its natural
+// operating mode; their mutate builds a fresh planner per call so no
+// cross-run state can leak between tests.
+func goldenCases() []struct {
+	name   string
+	mutate func(*Config)
+} {
+	return []struct {
 		name   string
 		mutate func(*Config)
 	}{
@@ -114,8 +122,24 @@ func TestGoldenDeterminism(t *testing.T) {
 		{"paced", func(c *Config) { c.InjectRate = 4; c.LocalCap = 64 }},
 		{"reorder", func(c *Config) { c.TrackReorder = true }},
 		{"nodirect_instant", func(c *Config) { c.NoDirect = true; c.InstantControl = true }},
+		{"sched_static", func(c *Config) { c.Schedule, c.Planner = nil, goldenPlanner("static") }},
+		{"sched_rotor", func(c *Config) {
+			c.Schedule, c.Planner = nil, goldenPlanner("rotor")
+			c.Mode = ModeIdeal
+		}},
+		{"sched_pulse", func(c *Config) {
+			c.Schedule, c.Planner = nil, goldenPlanner("pulse")
+			c.Mode = ModeDirect
+		}},
+		{"sched_negotiator", func(c *Config) {
+			c.Schedule, c.Planner = nil, goldenPlanner("negotiator")
+			c.Mode = ModeDirect
+		}},
 	}
-	for _, tc := range cases {
+}
+
+func TestGoldenDeterminism(t *testing.T) {
+	for _, tc := range goldenCases() {
 		t.Run(tc.name, func(t *testing.T) {
 			cfg, flows := goldenCase(t, tc.mutate)
 			res, err := Run(cfg, flows)

@@ -1,0 +1,230 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"sirius/internal/phy"
+	"sirius/internal/sched"
+	"sirius/internal/schedule"
+	"sirius/internal/simtime"
+	"sirius/internal/workload"
+)
+
+// goldenPlanner builds a fresh planner instance for the golden fixture
+// grid (16 nodes, 4 uplinks, 4-slot epochs, matching the static golden
+// geometry). Fresh per call: a Planner must not be shared between runs
+// that could interleave.
+func goldenPlanner(family string) Planner {
+	mustNil := func(err error) {
+		if err != nil {
+			panic(err)
+		}
+	}
+	switch family {
+	case "static":
+		g, err := schedule.NewGrouped(16, 4, 1)
+		mustNil(err)
+		return sched.NewStatic(g)
+	case "rotor":
+		r, err := sched.NewRotorRR(16, 4, 4, 1)
+		mustNil(err)
+		return r
+	case "pulse":
+		p, err := sched.NewPULSE(16, 4, 4, 1, 0)
+		mustNil(err)
+		return p
+	case "negotiator":
+		g, err := sched.NewNegotiaToR(16, 4, 4, 1, 0)
+		mustNil(err)
+		return g
+	}
+	panic("unknown planner family " + family)
+}
+
+// TestPlannerConfigValidation pins the Schedule/Planner exclusivity
+// contract.
+func TestPlannerConfigValidation(t *testing.T) {
+	cfg, flows := goldenCase(t, func(c *Config) {})
+	cfg.Planner = goldenPlanner("static")
+	if _, err := Run(cfg, flows); err == nil {
+		t.Fatal("both Schedule and Planner accepted")
+	}
+	cfg.Schedule, cfg.Planner = nil, nil
+	if _, err := Run(cfg, flows); err == nil {
+		t.Fatal("neither Schedule nor Planner rejected")
+	}
+}
+
+// TestStaticPlannerMatchesSchedule is the adapter equivalence proof: a
+// run driven by Planner = sched.NewStatic(s) is byte-identical to the
+// same run driven by Schedule = s, in every mode and in both engines.
+// The dynamic path is a strict generalization of the static one.
+func TestStaticPlannerMatchesSchedule(t *testing.T) {
+	for _, mode := range []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"requestgrant", func(c *Config) {}},
+		{"ideal", func(c *Config) { c.Mode = ModeIdeal }},
+		{"direct", func(c *Config) { c.Mode = ModeDirect }},
+	} {
+		for _, shards := range []int{0, 4} {
+			t.Run(fmt.Sprintf("%s/shards%d", mode.name, shards), func(t *testing.T) {
+				cfg, flows := goldenCase(t, mode.mutate)
+				cfg.Shards = shards
+				ser, rs := runSim(t, cfg, flows)
+
+				pcfg := cfg
+				pcfg.Schedule = nil
+				pcfg.Planner = goldenPlanner("static")
+				dyn, rp := runSim(t, pcfg, flows)
+				if rp.ReconfigLinkSlots != 0 {
+					t.Fatalf("static planner charged %d reconfig link-slots", rp.ReconfigLinkSlots)
+				}
+				diffSims(t, ser, dyn, rs, rp)
+			})
+		}
+	}
+}
+
+// TestPlannerFamiliesComplete runs each dynamic family end to end in its
+// natural mode and sanity-checks the reconfiguration accounting.
+func TestPlannerFamiliesComplete(t *testing.T) {
+	for _, tc := range []struct {
+		family      string
+		mode        Mode
+		wantRecfg   bool
+		wantAllDone bool
+	}{
+		{"rotor", ModeIdeal, true, true},
+		{"pulse", ModeDirect, true, true},
+		{"negotiator", ModeDirect, true, true},
+	} {
+		t.Run(tc.family, func(t *testing.T) {
+			cfg, flows := goldenCase(t, func(c *Config) {})
+			cfg.Schedule = nil
+			cfg.Planner = goldenPlanner(tc.family)
+			cfg.Mode = tc.mode
+			res, err := Run(cfg, flows)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tc.wantAllDone && res.Completed != res.Flows {
+				t.Fatalf("completed %d/%d flows", res.Completed, res.Flows)
+			}
+			if tc.wantRecfg && res.ReconfigLinkSlots == 0 {
+				t.Fatal("no reconfiguration overhead recorded")
+			}
+			budget := res.Slots * int64(cfg.Planner.Nodes()) * int64(cfg.Planner.Uplinks())
+			if res.ReconfigLinkSlots < 0 || res.ReconfigLinkSlots > budget {
+				t.Fatalf("reconfig link-slots %d outside [0, %d]", res.ReconfigLinkSlots, budget)
+			}
+		})
+	}
+}
+
+// TestShardedDifferentialSched is the dynamic-planner counterpart of
+// TestShardedDifferential: every scheduler family, two fabric sizes and
+// seeds, diffed field-by-field between the serial and sharded engines
+// across shard counts that split bitset words and exceed the clamp.
+func TestShardedDifferentialSched(t *testing.T) {
+	mustPlanner := func(p Planner, err error) Planner {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	grids := []struct {
+		name    string
+		planner func(n, up, slots int) Planner
+		mode    Mode
+	}{
+		{"static_grouped", func(n, up, slots int) Planner {
+			g, err := schedule.NewGrouped(n, slots, 1)
+			return mustPlanner(sched.NewStatic(g), err)
+		}, ModeRequestGrant},
+		{"rotorrr", func(n, up, slots int) Planner {
+			return mustPlanner(sched.NewRotorRR(n, up, slots, 1))
+		}, ModeIdeal},
+		{"pulse", func(n, up, slots int) Planner {
+			return mustPlanner(sched.NewPULSE(n, up, slots, 1, 0))
+		}, ModeDirect},
+		{"negotiator", func(n, up, slots int) Planner {
+			return mustPlanner(sched.NewNegotiaToR(n, up, slots, 1, 0))
+		}, ModeDirect},
+	}
+	sizes := []struct{ n, up, slots, flows int }{
+		{16, 4, 4, 300},
+		{48, 6, 8, 600},
+	}
+	for _, g := range grids {
+		for _, sz := range sizes {
+			for _, seed := range []uint64{1, 2} {
+				wcfg := workload.DefaultConfig(sz.n, 100*simtime.Gbps, 0.8, sz.flows)
+				wcfg.Seed = seed
+				flows, err := workload.Generate(wcfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg := Config{
+					Planner:       g.planner(sz.n, sz.up, sz.slots),
+					Slot:          phy.DefaultSlot(),
+					Q:             4,
+					Mode:          g.mode,
+					NormalizeRate: 100 * simtime.Gbps,
+					Seed:          seed * 31,
+					KeepPerFlow:   true,
+				}
+				ser, rs := runSim(t, cfg, flows)
+				for _, shards := range []int{2, 3, 4, 64} {
+					t.Run(fmt.Sprintf("%s/n%d/seed%d/shards%d", g.name, sz.n, seed, shards), func(t *testing.T) {
+						scfg := cfg
+						scfg.Shards = shards
+						sh, rp := runSim(t, scfg, flows)
+						if sh.sh == nil {
+							t.Fatal("sharded engine not engaged (fell back to serial)")
+						}
+						diffSims(t, ser, sh, rs, rp)
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestPlannerReplaysInProcess guards the Reset contract: reusing one
+// planner instance across sequential runs must reproduce the first
+// run's results exactly.
+func TestPlannerReplaysInProcess(t *testing.T) {
+	for _, family := range []string{"rotor", "pulse", "negotiator"} {
+		t.Run(family, func(t *testing.T) {
+			cfg, flows := goldenCase(t, func(c *Config) {})
+			cfg.Schedule = nil
+			cfg.Planner = goldenPlanner(family)
+			if family == "rotor" {
+				cfg.Mode = ModeIdeal
+			} else {
+				cfg.Mode = ModeDirect
+			}
+			r1, err := Run(cfg, flows)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r2, err := Run(cfg, flows)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a, _ := json.Marshal(summarize(r1))
+			b, _ := json.Marshal(summarize(r2))
+			if string(a) != string(b) {
+				t.Fatalf("replay with reused planner diverged\nfirst:  %s\nsecond: %s", a, b)
+			}
+			if r1.ReconfigLinkSlots != r2.ReconfigLinkSlots {
+				t.Fatalf("reconfig accounting diverged: %d vs %d", r1.ReconfigLinkSlots, r2.ReconfigLinkSlots)
+			}
+		})
+	}
+}

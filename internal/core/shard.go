@@ -138,9 +138,13 @@ type shardEng struct {
 	peerSet bitset
 	// occIdx[(e*n+node)*uplinks+u] is how many earlier uplinks of the same
 	// row name the same peer (VOQ peek depth for the screen); maxDup is the
-	// schedule-wide maximum pair multiplicity per slot.
-	occIdx []uint8
-	maxDup int
+	// schedule-wide maximum pair multiplicity per slot. With a dynamic
+	// planner both are rebuilt from the fresh table at every epoch
+	// boundary (rebuildIndex), using the occSeen/occCount scratch.
+	occIdx   []uint8
+	maxDup   int
+	occSeen  []int32
+	occCount []uint8
 
 	// Early-break bookkeeping for the post-sweep upIdle correction:
 	// visitedSlot[j] stamps the slot phase T visited j; breakU[j] is the
@@ -202,12 +206,19 @@ const (
 // one slot.
 func buildOccIdx(dstTable []int32, n, uplinks, epochE int) (occ []uint8, maxDup int) {
 	occ = make([]uint8, len(dstTable))
-	maxDup = 1
 	seen := make([]int32, n)
+	count := make([]uint8, n)
+	maxDup = fillOccIdx(occ, dstTable, n, uplinks, epochE, seen, count)
+	return occ, maxDup
+}
+
+// fillOccIdx is buildOccIdx with caller-provided storage, so dynamic
+// planners can refresh the index every epoch without allocating.
+func fillOccIdx(occ []uint8, dstTable []int32, n, uplinks, epochE int, seen []int32, count []uint8) (maxDup int) {
+	maxDup = 1
 	for i := range seen {
 		seen[i] = -1
 	}
-	count := make([]uint8, n)
 	token := int32(-1)
 	for e := 0; e < epochE; e++ {
 		for node := 0; node < n; node++ {
@@ -230,7 +241,7 @@ func buildOccIdx(dstTable []int32, n, uplinks, epochE int) (occ []uint8, maxDup 
 			}
 		}
 	}
-	return occ, maxDup
+	return maxDup
 }
 
 func newShardEng(s *sim, p int) *shardEng {
@@ -267,18 +278,10 @@ func newShardEng(s *sim, p int) *shardEng {
 		eng.sh[k].upTx = make([]int64, s.uplinks)
 		eng.sh[k].upIdle = make([]int64, s.uplinks)
 	}
-	for e := 0; e < s.epochE; e++ {
-		for node := 0; node < n; node++ {
-			row := s.dstTable[(e*n+node)*s.uplinks : (e*n+node+1)*s.uplinks]
-			pr := eng.peerSet[(e*n+node)*s.dstWords : (e*n+node+1)*s.dstWords]
-			for _, d := range row {
-				if d >= 0 && int(d) != node {
-					pr.set(int(d))
-				}
-			}
-		}
-	}
-	eng.occIdx, eng.maxDup = buildOccIdx(s.dstTable, n, s.uplinks, s.epochE)
+	eng.occIdx = make([]uint8, len(s.dstTable))
+	eng.occSeen = make([]int32, n)
+	eng.occCount = make([]uint8, n)
+	eng.rebuildIndex()
 	if s.cfg.Mode == ModeIdeal {
 		eng.totals = make([]int32, n)
 	}
@@ -292,6 +295,32 @@ func newShardEng(s *sim, p int) *shardEng {
 		eng.reqLog = append(eng.reqLog, reqEnt{via: via, dst: dst, src: src})
 	}
 	return eng
+}
+
+// rebuildIndex derives the screen's lookup structures — the per-slot
+// scheduled-peer bitmaps and the occurrence-depth index — from the
+// current dstTable. It runs once at construction for static schedules
+// and again after every replan for dynamic planners, serially on the
+// coordinator (the workers are parked between slots), allocation-free
+// after construction.
+func (eng *shardEng) rebuildIndex() {
+	s := eng.s
+	n, uplinks, words := s.n, s.uplinks, s.dstWords
+	for i := range eng.peerSet {
+		eng.peerSet[i] = 0
+	}
+	for e := 0; e < s.epochE; e++ {
+		for node := 0; node < n; node++ {
+			row := s.dstTable[(e*n+node)*uplinks : (e*n+node+1)*uplinks]
+			pr := eng.peerSet[(e*n+node)*words : (e*n+node+1)*words]
+			for _, d := range row {
+				if d >= 0 && int(d) != node {
+					pr.set(int(d))
+				}
+			}
+		}
+	}
+	eng.maxDup = fillOccIdx(eng.occIdx, s.dstTable, n, uplinks, s.epochE, eng.occSeen, eng.occCount)
 }
 
 func (eng *shardEng) start() {
@@ -375,6 +404,9 @@ func (s *sim) stepSharded(e int, deliverAt simtime.Time) {
 	eng := s.sh
 	eng.curSlot++
 	if e == 0 {
+		if s.cfg.Planner != nil {
+			s.replan()
+		}
 		s.epochBoundarySharded()
 		// The epoch phases push VOQs, so any screen computed last slot is
 		// stale: recompute this slot's affected set from scratch.

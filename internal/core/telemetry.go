@@ -29,6 +29,9 @@ func (s *sim) flushTelemetry(slots int64) {
 	if s.localStalls > 0 {
 		reg.Counter("sirius_core_guardband_stalls_total").Add(s.localStalls)
 	}
+	if s.reconfigSlots > 0 {
+		reg.Counter("sirius_core_reconfig_linkslots_total").Add(s.reconfigSlots)
+	}
 	for u := 0; u < s.uplinks; u++ {
 		lbl := strconv.Itoa(u)
 		if s.upTx[u] > 0 {

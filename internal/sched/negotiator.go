@@ -1,0 +1,176 @@
+package sched
+
+import "fmt"
+
+// NegotiaToR models on-demand request/notify reconfiguration: sources
+// request circuits for queued traffic, the fabric notifies them of
+// granted matchings, and data flows only after the exchange completes.
+// Two costs are charged, following the paper's accounting:
+//
+//   - Control latency: Plan sees the demand matrix one epoch late
+//     (requests ride the control plane to the arbiter and notifications
+//     ride back). The very first epoch is entirely dark — no requests
+//     have arrived yet.
+//   - Reconfiguration: a newly established (src, uplink) → dst circuit
+//     is dark for Reconfig slots before serving. Circuits are held
+//     while requested demand remains and released when it drains (the
+//     rotorsim request_matching/release_matching discipline), so
+//     long-lived hot pairs amortize the penalty and churny traffic
+//     pays it repeatedly.
+//
+// Receiver ports follow the rotor convention: circuit (src, u) → dst
+// occupies receive port u of dst exclusively until released.
+type NegotiaToR struct {
+	nodes   int
+	uplinks int
+	slots   int
+	recfg   int
+	probes  int
+
+	prev     []int32 // demand sampled one epoch ago (requests in flight)
+	havePrev bool
+	rem      []int32 // unserved requested demand, consumed as slots are planned
+	cand     candSet
+	cur      []int32 // (src*uplinks+u) → held dst, -1 if idle
+	darkLeft []int32 // (src*uplinks+u) → reconfig slots still owed
+	rxBusy   []int32 // (dst*uplinks+u) → holding src, -1 if free
+}
+
+// NewNegotiaToR builds a NegotiaToR scheduler. probeBound caps the
+// candidate probes per circuit establishment; 0 means 2×uplinks.
+func NewNegotiaToR(nodes, uplinks, slotsPerEpoch, reconfigSlots, probeBound int) (*NegotiaToR, error) {
+	switch {
+	case nodes < 2:
+		return nil, fmt.Errorf("sched: need >= 2 nodes")
+	case uplinks < 1:
+		return nil, fmt.Errorf("sched: need >= 1 uplink")
+	case slotsPerEpoch < 1:
+		return nil, fmt.Errorf("sched: need >= 1 slot per epoch")
+	case reconfigSlots < 0 || reconfigSlots >= slotsPerEpoch:
+		return nil, fmt.Errorf("sched: reconfig slots (%d) must be in [0, slots per epoch)", reconfigSlots)
+	case probeBound < 0:
+		return nil, fmt.Errorf("sched: probe bound must be >= 0")
+	}
+	if probeBound == 0 {
+		probeBound = 2 * uplinks
+	}
+	ng := &NegotiaToR{
+		nodes: nodes, uplinks: uplinks, slots: slotsPerEpoch,
+		recfg: reconfigSlots, probes: probeBound,
+		prev:     make([]int32, nodes*nodes),
+		rem:      make([]int32, nodes*nodes),
+		cur:      make([]int32, nodes*uplinks),
+		darkLeft: make([]int32, nodes*uplinks),
+		rxBusy:   make([]int32, nodes*uplinks),
+	}
+	ng.Reset()
+	return ng, nil
+}
+
+// Nodes implements Scheduler.
+func (g *NegotiaToR) Nodes() int { return g.nodes }
+
+// Uplinks implements Scheduler.
+func (g *NegotiaToR) Uplinks() int { return g.uplinks }
+
+// SlotsPerEpoch implements Scheduler.
+func (g *NegotiaToR) SlotsPerEpoch() int { return g.slots }
+
+// ConnectionsPerEpoch implements Scheduler: a held circuit can serve a
+// pair every slot of the epoch.
+func (g *NegotiaToR) ConnectionsPerEpoch() int { return g.slots }
+
+// Plan implements Scheduler.
+func (g *NegotiaToR) Plan(epoch int64, demand []int32, dst []int32) int {
+	n, up := g.nodes, g.uplinks
+	reconfig := 0
+	if !g.havePrev {
+		// Requests are still in flight: nothing is granted yet.
+		for i := range dst[:g.slots*n*up] {
+			dst[i] = -1
+		}
+		copy(g.prev, demand)
+		g.havePrev = true
+		return 0
+	}
+	copy(g.rem, g.prev)
+	g.cand.build(n, g.probes, g.prev)
+	for slot := 0; slot < g.slots; slot++ {
+		base := slot * n * up
+		// Serve or release held circuits first, then establish new
+		// ones — a fixed order shared by every replay.
+		for src := 0; src < n; src++ {
+			for u := 0; u < up; u++ {
+				link := src*up + u
+				e := base + link
+				dst[e] = -1
+				d := g.cur[link]
+				if d < 0 {
+					continue
+				}
+				if g.rem[src*n+int(d)] <= 0 {
+					// Requested demand drained: release the circuit.
+					g.rxBusy[int(d)*up+u] = -1
+					g.cur[link] = -1
+					g.darkLeft[link] = 0
+					continue
+				}
+				if g.darkLeft[link] > 0 {
+					g.darkLeft[link]--
+					reconfig++
+					continue
+				}
+				dst[e] = d
+				g.rem[src*n+int(d)]--
+			}
+		}
+		// Establish new circuits on idle links, rotating the source
+		// start for fairness (pure function of epoch and slot).
+		start := int((epoch*int64(g.slots) + int64(slot)) % int64(n))
+		if start < 0 {
+			start += n
+		}
+		for i := 0; i < n; i++ {
+			src := start + i
+			if src >= n {
+				src -= n
+			}
+			for u := 0; u < up; u++ {
+				link := src*up + u
+				if g.cur[link] >= 0 {
+					continue
+				}
+				for _, d := range g.cand.lists[src] {
+					if g.rem[src*n+int(d)] <= 0 || g.rxBusy[int(d)*up+u] >= 0 {
+						continue
+					}
+					g.cur[link] = d
+					g.rxBusy[int(d)*up+u] = int32(src)
+					g.darkLeft[link] = int32(g.recfg)
+					if g.recfg > 0 {
+						// The establishment slot itself is the first
+						// reconfiguration slot.
+						g.darkLeft[link]--
+						reconfig++
+					} else {
+						dst[base+link] = d
+						g.rem[src*n+int(d)]--
+					}
+					break
+				}
+			}
+		}
+	}
+	copy(g.prev, demand)
+	return reconfig
+}
+
+// Reset implements Scheduler: drop held circuits and in-flight requests.
+func (g *NegotiaToR) Reset() {
+	g.havePrev = false
+	for i := range g.cur {
+		g.cur[i] = -1
+		g.rxBusy[i] = -1
+		g.darkLeft[i] = 0
+	}
+}

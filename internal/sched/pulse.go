@@ -1,0 +1,178 @@
+package sched
+
+import "fmt"
+
+// candSet holds per-source candidate destination lists for one planning
+// epoch: each source's destinations with positive remaining demand,
+// ordered by demand descending (ties broken by lower index, so the
+// order — and every plan built from it — is deterministic). Lists are
+// capped at a fixed depth: demand-aware solvers probe a bounded number
+// of candidates rather than scanning all n destinations per slot.
+type candSet struct {
+	lists [][]int32 // per src, dst indices, demand-descending
+	buf   []int32   // backing storage, reused across epochs
+}
+
+// build fills the candidate lists from demand (n×n row-major), keeping
+// at most depth entries per source. Selection is a capped insertion
+// sort: O(n·depth) per source worst case, cheap on sparse rows.
+func (c *candSet) build(n, depth int, demand []int32) {
+	if cap(c.buf) < n*depth {
+		c.buf = make([]int32, n*depth)
+	}
+	if c.lists == nil {
+		c.lists = make([][]int32, n)
+	}
+	for src := 0; src < n; src++ {
+		list := c.buf[src*depth : src*depth : (src+1)*depth]
+		row := demand[src*n : (src+1)*n]
+		for dst, d := range row {
+			if d <= 0 {
+				continue
+			}
+			// Insert dst keeping the list demand-descending, dropping
+			// the tail beyond depth.
+			i := len(list)
+			if i < depth {
+				list = list[:i+1]
+			} else if row[list[i-1]] >= d {
+				continue
+			} else {
+				i--
+			}
+			for i > 0 && row[list[i-1]] < d {
+				list[i] = list[i-1]
+				i--
+			}
+			list[i] = int32(dst)
+		}
+		c.lists[src] = list
+	}
+}
+
+// PULSE is a per-epoch demand-aware scheduler modeled on PULSE's
+// distributed wavelength assignment: at every epoch boundary it reads
+// the sampled VOQ demand matrix and builds one matching per
+// (slot, uplink) plane with a bounded-iteration greedy heuristic —
+// sources probe their top-demand candidates in a rotating order and
+// claim the first free receiver, so each plane is maximal with respect
+// to the probed candidates without any global optimization. Links with
+// no demand stay dark (demand-aware fabrics light only requested
+// wavelengths). The leading Reconfig slots of each epoch are dark,
+// charging the scheduling/tuning latency of acting on fresh demand.
+type PULSE struct {
+	nodes   int
+	uplinks int
+	slots   int
+	recfg   int
+	probes  int // candidate probe bound per (src, slot, uplink)
+
+	rem   []int32 // remaining unserved demand, consumed as slots are planned
+	cand  candSet
+	owner []int32 // (dst*uplinks+u) → claiming src for the current slot
+	stamp []int32 // claim validity stamp, avoids clearing owner per slot
+	cur   int32   // current stamp
+}
+
+// NewPULSE builds a PULSE scheduler. probeBound caps how many of its
+// top-demand destinations a source probes per (slot, uplink); 0 means
+// the default of 2×uplinks.
+func NewPULSE(nodes, uplinks, slotsPerEpoch, reconfigSlots, probeBound int) (*PULSE, error) {
+	switch {
+	case nodes < 2:
+		return nil, fmt.Errorf("sched: need >= 2 nodes")
+	case uplinks < 1:
+		return nil, fmt.Errorf("sched: need >= 1 uplink")
+	case slotsPerEpoch < 1:
+		return nil, fmt.Errorf("sched: need >= 1 slot per epoch")
+	case reconfigSlots < 0 || reconfigSlots >= slotsPerEpoch:
+		return nil, fmt.Errorf("sched: reconfig slots (%d) must be in [0, slots per epoch)", reconfigSlots)
+	case probeBound < 0:
+		return nil, fmt.Errorf("sched: probe bound must be >= 0")
+	}
+	if probeBound == 0 {
+		probeBound = 2 * uplinks
+	}
+	return &PULSE{
+		nodes: nodes, uplinks: uplinks, slots: slotsPerEpoch,
+		recfg: reconfigSlots, probes: probeBound,
+		rem:   make([]int32, nodes*nodes),
+		owner: make([]int32, nodes*uplinks),
+		stamp: make([]int32, nodes*uplinks),
+	}, nil
+}
+
+// Nodes implements Scheduler.
+func (p *PULSE) Nodes() int { return p.nodes }
+
+// Uplinks implements Scheduler.
+func (p *PULSE) Uplinks() int { return p.uplinks }
+
+// SlotsPerEpoch implements Scheduler.
+func (p *PULSE) SlotsPerEpoch() int { return p.slots }
+
+// ConnectionsPerEpoch implements Scheduler: demand-aware assignment can
+// in principle give a hot pair every serving slot of the epoch.
+func (p *PULSE) ConnectionsPerEpoch() int { return p.slots - p.recfg }
+
+// Plan implements Scheduler.
+func (p *PULSE) Plan(epoch int64, demand []int32, dst []int32) int {
+	n, up := p.nodes, p.uplinks
+	copy(p.rem, demand)
+	p.cand.build(n, p.probes, demand)
+	reconfig := 0
+	for slot := 0; slot < p.slots; slot++ {
+		base := slot * n * up
+		dark := slot < p.recfg
+		for u := 0; u < up; u++ {
+			p.cur++
+			// Rotate the source start so no node is systematically
+			// first in line; the offset is a pure function of
+			// (epoch, slot, uplink) for replayability.
+			start := int((epoch*int64(p.slots)+int64(slot))+int64(u)*7) % n
+			if start < 0 {
+				start += n
+			}
+			for i := 0; i < n; i++ {
+				src := start + i
+				if src >= n {
+					src -= n
+				}
+				e := base + src*up + u
+				dst[e] = -1
+				for _, d := range p.cand.lists[src] {
+					if p.rem[src*n+int(d)] <= 0 {
+						continue
+					}
+					port := int(d)*up + u
+					if p.stamp[port] == p.cur {
+						continue
+					}
+					p.stamp[port] = p.cur
+					p.owner[port] = int32(src)
+					if dark {
+						// The assignment exists but the plane is
+						// still reconfiguring: a lost serving
+						// opportunity, charged as overhead. Demand
+						// stays unserved.
+						reconfig++
+					} else {
+						dst[e] = d
+						p.rem[src*n+int(d)]--
+					}
+					break
+				}
+			}
+		}
+	}
+	return reconfig
+}
+
+// Reset implements Scheduler: all per-epoch scratch is rebuilt by every
+// Plan call, so only the claim stamp needs clearing.
+func (p *PULSE) Reset() {
+	p.cur = 0
+	for i := range p.stamp {
+		p.stamp[i] = 0
+	}
+}

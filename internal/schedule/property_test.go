@@ -1,0 +1,108 @@
+package schedule
+
+import (
+	"fmt"
+	"testing"
+)
+
+// familyGrid builds every schedule family at one node count. The
+// geometry knobs scale with n so each size exercises a different
+// epoch/uplink shape: grating ports grow with n, the fractional rotor
+// keeps an uplink count coprime with n (maximal epoch), and the
+// degraded wrapper fails two spread-out nodes.
+func familyGrid(t *testing.T, n int) []struct {
+	name    string
+	s       Schedule
+	uniform bool // CheckUniformCoverage applies (not for Degraded)
+} {
+	t.Helper()
+	ports := 4
+	for ports*ports < n {
+		ports *= 2 // 8→4, 64→8, 256→16
+	}
+	mustGrouped := func(m int) Schedule {
+		g, err := NewGrouped(n, ports, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	mustRotor := func(u int) Schedule {
+		r, err := NewRotor(n, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	degraded, err := NewDegraded(mustRotor(4), []int{1, n / 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	compact, _, err := Compact(mustRotor(4), []int{1, n / 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []struct {
+		name    string
+		s       Schedule
+		uniform bool
+	}{
+		{"grouped_m1", mustGrouped(1), true},
+		{"grouped_m2", mustGrouped(2), true},
+		{"rotor_even", mustRotor(4), true},
+		{"rotor_frac", mustRotor(3), true},
+		{"degraded", degraded, false},
+		{"compact", compact, true},
+	}
+}
+
+// TestFamilyProperties sweeps the defining schedule invariants across
+// every family at n in {8, 64, 256}: contention freedom always, uniform
+// coverage wherever it is promised (a Degraded schedule deliberately
+// blanks failed slots, so only contention freedom survives there).
+func TestFamilyProperties(t *testing.T) {
+	for _, n := range []int{8, 64, 256} {
+		for _, f := range familyGrid(t, n) {
+			t.Run(fmt.Sprintf("%s/n%d", f.name, n), func(t *testing.T) {
+				if err := CheckContentionFree(f.s); err != nil {
+					t.Errorf("contention: %v", err)
+				}
+				if !f.uniform {
+					return
+				}
+				if err := CheckUniformCoverage(f.s); err != nil {
+					t.Errorf("coverage: %v", err)
+				}
+			})
+		}
+	}
+}
+
+// TestSlotForMatchesScan cross-checks every family's (possibly closed
+// form) SlotFor against the brute-force ScanSlotFor over all ordered
+// pairs: both must agree on whether a pair is ever connected, and a
+// non-negative answer must name a slot that really reaches dst.
+func TestSlotForMatchesScan(t *testing.T) {
+	for _, n := range []int{8, 64, 256} {
+		for _, f := range familyGrid(t, n) {
+			t.Run(fmt.Sprintf("%s/n%d", f.name, n), func(t *testing.T) {
+				for src := 0; src < f.s.Nodes(); src++ {
+					for dst := 0; dst < f.s.Nodes(); dst++ {
+						u, s := f.s.SlotFor(src, dst)
+						su, ss := ScanSlotFor(f.s, src, dst)
+						if (u < 0) != (su < 0) {
+							t.Fatalf("pair (%d,%d): SlotFor (%d,%d) vs scan (%d,%d)",
+								src, dst, u, s, su, ss)
+						}
+						if u < 0 {
+							continue
+						}
+						if got := f.s.Dst(src, u, s); got != dst {
+							t.Fatalf("pair (%d,%d): SlotFor (%d,%d) reaches %d", src, dst, u, s, got)
+						}
+					}
+				}
+			})
+		}
+	}
+}
